@@ -1,0 +1,105 @@
+// Command aspsolve is a standalone disjunctive answer-set solver over the
+// engine in internal/asp, accepting a subset of clingo's input language.
+//
+// Usage:
+//
+//	aspsolve [-models N] [-cautious] [-brave] program.lp
+//	echo "a | b. c :- a. c :- b." | aspsolve -models 0 -cautious
+//
+// -models N enumerates up to N stable models (0 = all). -cautious and
+// -brave report the atoms true in every / some stable model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/asp"
+)
+
+func main() {
+	var (
+		models   = flag.Int("models", 1, "number of stable models to enumerate (0 = all)")
+		cautious = flag.Bool("cautious", false, "report atoms true in every stable model")
+		brave    = flag.Bool("brave", false, "report atoms true in some stable model")
+	)
+	flag.Parse()
+	if err := run(flag.Args(), *models, *cautious, *brave); err != nil {
+		fmt.Fprintln(os.Stderr, "aspsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, models int, cautious, brave bool) error {
+	var text []byte
+	var err error
+	switch len(args) {
+	case 0:
+		text, err = io.ReadAll(os.Stdin)
+	case 1:
+		text, err = os.ReadFile(args[0])
+	default:
+		return fmt.Errorf("at most one program file")
+	}
+	if err != nil {
+		return err
+	}
+	prog, err := asp.ParseProgram(string(text))
+	if err != nil {
+		return err
+	}
+	gp, err := prog.Ground()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%% grounded: %s\n", gp.Stats())
+
+	allAtoms := make([]asp.AtomID, gp.NumAtoms())
+	for i := range allAtoms {
+		allAtoms[i] = asp.AtomID(i)
+	}
+	if cautious {
+		kept, hasModel := asp.NewStableSolver(gp).Cautious(allAtoms)
+		if !hasModel {
+			fmt.Println("UNSATISFIABLE")
+			return nil
+		}
+		fmt.Print("cautious:")
+		printAtoms(gp, kept)
+	}
+	if brave {
+		kept, hasModel := asp.NewStableSolver(gp).Brave(allAtoms)
+		if !hasModel {
+			fmt.Println("UNSATISFIABLE")
+			return nil
+		}
+		fmt.Print("brave:")
+		printAtoms(gp, kept)
+	}
+	if cautious || brave {
+		return nil
+	}
+
+	solver := asp.NewStableSolver(gp)
+	n := 0
+	solver.Enumerate(func(m []bool) bool {
+		n++
+		fmt.Printf("Answer %d: %s\n", n, asp.FormatModel(gp, m))
+		return models == 0 || n < models
+	})
+	if n == 0 {
+		fmt.Println("UNSATISFIABLE")
+	} else {
+		fmt.Printf("SATISFIABLE (%d model(s) shown)\n", n)
+	}
+	return nil
+}
+
+func printAtoms(gp *asp.GroundProgram, atoms []asp.AtomID) {
+	for _, a := range atoms {
+		fmt.Printf(" %s", gp.Name(a))
+	}
+	fmt.Println()
+}

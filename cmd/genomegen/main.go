@@ -1,0 +1,76 @@
+// Command genomegen materializes benchmark source instances for the
+// genome-browser scenario (Section 5 of the paper) as fact files, together
+// with the schema mapping and query suite, so they can be fed to xrquery.
+//
+// Usage:
+//
+//	genomegen -out DIR [-profile L3] [-scale 0.1]
+//	genomegen -out DIR -transcripts 5000 -suspect 0.05 [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/genome"
+	"repro/internal/parser"
+)
+
+func main() {
+	var (
+		out         = flag.String("out", "", "output directory (required)")
+		profileName = flag.String("profile", "L3", "profile name: L0 L3 L9 L20 S3 M3 F3")
+		scale       = flag.Float64("scale", 0.1, "profile scale factor (1 = paper-sized)")
+		transcripts = flag.Int("transcripts", 0, "custom transcript count (overrides -profile)")
+		suspect     = flag.Float64("suspect", 0.03, "custom suspect-transcript rate")
+		seed        = flag.Int64("seed", 1, "custom generator seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*out, *profileName, *scale, *transcripts, *suspect, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "genomegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, profileName string, scale float64, transcripts int, suspect float64, seed int64) error {
+	w, err := genome.NewWorld()
+	if err != nil {
+		return err
+	}
+	var p genome.Profile
+	if transcripts > 0 {
+		p = genome.Profile{Name: "custom", Transcripts: transcripts, SuspectRate: suspect, Seed: seed}
+	} else {
+		var ok bool
+		p, ok = genome.ProfileByName(profileName, scale)
+		if !ok {
+			return fmt.Errorf("unknown profile %q", profileName)
+		}
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	src := genome.Generate(w, p)
+	if err := os.WriteFile(filepath.Join(out, "mapping.map"), []byte(genome.MappingText), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(out, "queries.dl"), []byte(genome.QueriesText), 0o644); err != nil {
+		return err
+	}
+	facts := parser.FormatFacts(src, w.Cat, w.U)
+	factsPath := filepath.Join(out, fmt.Sprintf("%s.facts", p.Name))
+	if err := os.WriteFile(factsPath, []byte(facts), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("profile %s: %d transcripts, %d source facts, suspect rate %.1f%%\n",
+		p.Name, p.Transcripts, src.Len(), 100*p.SuspectRate)
+	fmt.Printf("wrote %s, %s, %s\n",
+		filepath.Join(out, "mapping.map"), filepath.Join(out, "queries.dl"), factsPath)
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command xrbench regenerates the paper's evaluation tables and figures on
+// the synthetic genome-browser benchmark.
+//
+// Usage:
+//
+//	xrbench [-experiment all] [-scale 0.1] [-mono-timeout 60s] [-quiet]
+//
+// Experiments: table1 table2 table3 table4 fig3a fig3b fig4a fig4b
+// reduction speedup all. -scale 1 selects paper-sized instances (slow);
+// the default 0.1 runs the complete grid in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/benchkit"
+)
+
+func main() {
+	var (
+		experiment  = flag.String("experiment", "all", "which experiment to run (comma-separated)")
+		scale       = flag.Float64("scale", 0.1, "instance scale factor (1 = paper-sized)")
+		monoTimeout = flag.Duration("mono-timeout", 60*time.Second, "per-query timeout for monolithic runs")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+	if err := run(*experiment, *scale, *monoTimeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "xrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, scale float64, monoTimeout time.Duration, quiet bool) error {
+	r, err := benchkit.NewRunner(scale, monoTimeout)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		r.Progress = os.Stderr
+	}
+	type exp struct {
+		name string
+		run  func() (*benchkit.Table, error)
+	}
+	exps := []exp{
+		{"reduction", r.ReductionTable},
+		{"table1", r.Table1},
+		{"table2", r.Table2},
+		{"table3", r.Table3},
+		{"table4", r.Table4},
+		{"fig4a", r.Figure4Suspect},
+		{"fig4b", r.Figure4Size},
+		{"fig3a", r.Figure3Suspect},
+		{"fig3b", r.Figure3Size},
+		{"speedup", func() (*benchkit.Table, error) { return r.Speedup(benchkit.SizeProfiles) }},
+		{"ablation", func() (*benchkit.Table, error) { return r.AblationFigure1(200) }},
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(experiment, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	ran := 0
+	var out io.Writer = os.Stdout
+	fmt.Fprintf(out, "xrbench: scale=%.3g mono-timeout=%v\n\n", scale, monoTimeout)
+	for _, e := range exps {
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		t, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("experiment wall time %.1fs", time.Since(start).Seconds()))
+		t.Render(out)
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", experiment)
+	}
+	return nil
+}

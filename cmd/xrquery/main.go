@@ -1,0 +1,138 @@
+// Command xrquery computes XR-Certain answers for queries over a schema
+// mapping and a source instance, using the segmentary engine (default),
+// the monolithic engine, or brute-force repair enumeration.
+//
+// Usage:
+//
+//	xrquery -mapping m.map -facts i.facts -queries q.dl \
+//	        [-engine seg|mono|brute] [-timeout 60s] [-stats] [-possible]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		mappingPath = flag.String("mapping", "", "schema mapping file (required)")
+		factsPath   = flag.String("facts", "", "source instance fact file (required)")
+		queriesPath = flag.String("queries", "", "query file (required)")
+		engine      = flag.String("engine", "seg", "engine: seg, mono, or brute")
+		timeout     = flag.Duration("timeout", 0, "per-query timeout for the monolithic engine (0 = none)")
+		stats       = flag.Bool("stats", false, "print per-query statistics")
+		possible    = flag.Bool("possible", false, "also print XR-Possible answers (segmentary engine only)")
+	)
+	flag.Parse()
+	if *mappingPath == "" || *factsPath == "" || *queriesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*mappingPath, *factsPath, *queriesPath, *engine, *timeout, *stats, *possible); err != nil {
+		fmt.Fprintln(os.Stderr, "xrquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mappingPath, factsPath, queriesPath, engine string, timeout time.Duration, stats, possible bool) error {
+	sys, err := loadSystem(mappingPath)
+	if err != nil {
+		return err
+	}
+	factsText, err := os.ReadFile(factsPath)
+	if err != nil {
+		return err
+	}
+	in, err := sys.ParseFacts(string(factsText))
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", factsPath, err)
+	}
+	queryText, err := os.ReadFile(queriesPath)
+	if err != nil {
+		return err
+	}
+	queries, err := sys.ParseQueries(string(queryText))
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", queriesPath, err)
+	}
+
+	fmt.Printf("# mapping: %s; instance: %d facts; consistent: %v\n",
+		sys.MappingStats(), in.NumFacts(), sys.HasSolution(in))
+
+	switch engine {
+	case "seg":
+		ex, err := sys.NewExchange(in)
+		if err != nil {
+			return err
+		}
+		st := ex.Stats()
+		fmt.Printf("# exchange phase: %v (violations=%d clusters=%d suspect=%d)\n",
+			st.Duration, st.Violations, st.Clusters, ex.SuspectFacts())
+		for _, q := range queries {
+			ans, err := ex.Answer(q)
+			if err != nil {
+				return fmt.Errorf("query %s: %w", q.Name(), err)
+			}
+			printAnswers(q.Name(), ans, stats)
+			if possible {
+				poss, err := ex.Possible(q)
+				if err != nil {
+					return fmt.Errorf("query %s (possible): %w", q.Name(), err)
+				}
+				printAnswers(q.Name()+" [possible]", poss, stats)
+			}
+		}
+	case "mono":
+		answers, errs, err := sys.MonolithicAnswers(in, queries, timeout)
+		if err != nil {
+			return err
+		}
+		for i, q := range queries {
+			if errs[i] != nil {
+				fmt.Printf("%s: TIMEOUT after %v (answers below are a lower bound)\n", q.Name(), timeout)
+			}
+			printAnswers(q.Name(), answers[i], stats)
+		}
+	case "brute":
+		answers, err := sys.BruteForceAnswers(in, queries)
+		if err != nil {
+			return err
+		}
+		for i, q := range queries {
+			printAnswers(q.Name(), answers[i], stats)
+		}
+	default:
+		return fmt.Errorf("unknown engine %q (want seg, mono, or brute)", engine)
+	}
+	return nil
+}
+
+func loadSystem(path string) (*repro.System, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := repro.Load(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return sys, nil
+}
+
+func printAnswers(name string, ans *repro.Answers, stats bool) {
+	if stats {
+		fmt.Printf("%s: %d answers (candidates=%d safe=%d solver=%d programs=%d) in %v\n",
+			name, len(ans.Tuples), ans.Candidates, ans.SafeAccepted, ans.SolverAccepted,
+			ans.Programs, ans.Duration)
+	} else {
+		fmt.Printf("%s: %d answers\n", name, len(ans.Tuples))
+	}
+	for _, row := range ans.Tuples {
+		fmt.Printf("  %s(%s)\n", name, strings.Join(row, ", "))
+	}
+}

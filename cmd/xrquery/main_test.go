@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func fixtureFiles(t *testing.T) (string, string, string) {
+	m := writeTemp(t, "m.map", `
+source A(x, v).
+source B(x, v).
+target T(x, v).
+tgd A(x, v) -> T(x, v).
+tgd B(x, v) -> T(x, v).
+egd T(x, v) & T(x, w) -> v = w.
+`)
+	f := writeTemp(t, "i.facts", `
+A(t1, 1). B(t1, 2).
+A(t2, 3). B(t2, 3).
+`)
+	q := writeTemp(t, "q.dl", `q(x, v) :- T(x, v).`)
+	return m, f, q
+}
+
+func TestRunAllEngines(t *testing.T) {
+	m, f, q := fixtureFiles(t)
+	for _, engine := range []string{"seg", "mono", "brute"} {
+		if err := run(m, f, q, engine, time.Minute, true, engine == "seg"); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m, f, q := fixtureFiles(t)
+	if err := run(m, f, q, "warp", 0, false, false); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if err := run("/nonexistent.map", f, q, "seg", 0, false, false); err == nil {
+		t.Fatal("missing mapping accepted")
+	}
+	bad := writeTemp(t, "bad.map", "gibberish")
+	if err := run(bad, f, q, "seg", 0, false, false); err == nil {
+		t.Fatal("bad mapping accepted")
+	}
+	badFacts := writeTemp(t, "bad.facts", "Nope(1).")
+	if err := run(m, badFacts, q, "seg", 0, false, false); err == nil {
+		t.Fatal("bad facts accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Example demonstrates XR-Certain query answering over an inconsistent
+// source instance: two pipelines disagree on tx1's exon count, so only
+// tx2's row is a certain answer.
+func Example() {
+	sys, err := repro.Load(`
+source Observed(transcript, exons).
+source Curated(transcript, exons).
+target Gene(transcript, exons).
+tgd obs: Observed(t, e) -> Gene(t, e).
+tgd cur: Curated(t, e) -> Gene(t, e).
+egd key: Gene(t, e1) & Gene(t, e2) -> e1 = e2.
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := sys.ParseFacts(`
+Observed(tx1, 4).  Curated(tx1, 5).
+Observed(tx2, 7).  Curated(tx2, 7).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consistent:", sys.HasSolution(in))
+
+	ex, err := sys.NewExchange(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := sys.ParseQueries(`gene(t, e) :- Gene(t, e).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	certain, err := ex.Answer(q[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range certain.Tuples {
+		fmt.Println("certain:", row[0], row[1])
+	}
+	possible, err := ex.Possible(q[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("possible tuples:", len(possible.Tuples))
+
+	// Output:
+	// consistent: false
+	// certain: tx2 7
+	// possible tuples: 3
+}

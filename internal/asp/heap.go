@@ -1,0 +1,83 @@
+package asp
+
+// varHeap is a max-heap of variables ordered by activity, with lazy
+// membership (a variable may appear at most once; popped variables are
+// re-pushed on backtrack).
+type varHeap struct {
+	act     *[]float64
+	heap    []Var
+	indices map[Var]int
+}
+
+func (h *varHeap) size() int { return len(h.heap) }
+
+func (h *varHeap) less(a, b Var) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *varHeap) push(v Var) {
+	if h.indices == nil {
+		h.indices = make(map[Var]int)
+	}
+	if _, ok := h.indices[v]; ok {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() Var {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.indices[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	delete(h.indices, v)
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v Var) {
+	if i, ok := h.indices[v]; ok {
+		h.up(i)
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}

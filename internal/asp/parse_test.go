@@ -1,0 +1,160 @@
+package asp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseProgramFactsAndRules(t *testing.T) {
+	prog, err := ParseProgram(`
+% a comment
+node(v1). node(v2). edge(v1, v2).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Facts) != 3 || len(prog.Rules) != 2 {
+		t.Fatalf("facts=%d rules=%d", len(prog.Facts), len(prog.Rules))
+	}
+	gp, err := prog.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStableSolver(gp)
+	m := s.NextStable()
+	if m == nil {
+		t.Fatal("no model")
+	}
+	id, ok := gp.LookupAtom("path(v1,v2)")
+	if !ok || !m[id] {
+		t.Fatal("path(v1,v2) not derived")
+	}
+}
+
+func TestParseProgramDisjunctionAndConstraint(t *testing.T) {
+	prog, err := ParseProgram(`
+item(a). item(b).
+in(X) | out(X) :- item(X).
+:- in(a), in(b).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := prog.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewStableSolver(gp).Enumerate(func([]bool) bool { return true })
+	// 4 combinations minus the forbidden in(a)&in(b) = 3.
+	if n != 3 {
+		t.Fatalf("models = %d, want 3", n)
+	}
+}
+
+func TestParseProgramNegationAndInequality(t *testing.T) {
+	prog, err := ParseProgram(`
+p(a). p(b).
+q(X) :- p(X), not blocked(X).
+blocked(a).
+diff(X, Y) :- p(X), p(Y), X != Y.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := prog.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStableSolver(gp)
+	m := s.NextStable()
+	qa, _ := gp.LookupAtom("q(a)")
+	qb, okQB := gp.LookupAtom("q(b)")
+	if m[qa] || !okQB || !m[qb] {
+		t.Fatal("negation handled wrong")
+	}
+	if _, ok := gp.LookupAtom("diff(a,a)"); ok {
+		t.Fatal("inequality not applied")
+	}
+	if ab, ok := gp.LookupAtom("diff(a,b)"); !ok || !m[ab] {
+		t.Fatal("diff(a,b) missing")
+	}
+}
+
+func TestParseProgramSemicolonDisjunction(t *testing.T) {
+	prog, err := ParseProgram(`a ; b.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := prog.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NewStableSolver(gp).Enumerate(func([]bool) bool { return true }); n != 2 {
+		t.Fatalf("models = %d", n)
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	cases := []string{
+		`p(a)`,            // missing dot
+		`P(a).`,           // uppercase predicate
+		`p(a,.`,           // bad term
+		`:- .`,            // empty constraint body... parses atom -> error
+		`p(X) :- q(X,.`,   // malformed body
+		`p(a). q(b) :- .`, // empty body after :-
+	}
+	for _, src := range cases {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseProgramNotKeywordBoundary(t *testing.T) {
+	// "nothing" must parse as a predicate, not "not hing".
+	prog, err := ParseProgram(`
+nothing(a).
+p(X) :- nothing(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := prog.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStableSolver(gp)
+	m := s.NextStable()
+	pa, ok := gp.LookupAtom("p(a)")
+	if !ok || !m[pa] {
+		t.Fatal("keyword boundary broken")
+	}
+}
+
+func TestFormatModel(t *testing.T) {
+	prog, _ := ParseProgram(`b. a. c :- a, b.`)
+	gp, _ := prog.Ground()
+	s := NewStableSolver(gp)
+	m := s.NextStable()
+	out := FormatModel(gp, m)
+	if out != "a b c" {
+		t.Fatalf("FormatModel = %q", out)
+	}
+	if !strings.Contains(gp.String(), "c :- a, b.") {
+		t.Fatalf("program rendering:\n%s", gp.String())
+	}
+}
+
+func TestParseNonGroundHeadFact(t *testing.T) {
+	// A body-free rule with variables is unsafe and must be rejected at
+	// grounding time.
+	prog, err := ParseProgram(`p(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Ground(); err == nil {
+		t.Fatal("unsafe variable fact accepted by grounder")
+	}
+}

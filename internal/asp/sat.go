@@ -1,0 +1,545 @@
+// Package asp implements disjunctive logic programs under the stable model
+// semantics: a ground-program representation, a relational grounder, a CDCL
+// SAT core, a stable-model solver (minimal-model generation plus
+// reduct-minimality checking), model enumeration, and cautious reasoning.
+//
+// It substitutes for the clingo solver used in the paper (see DESIGN.md §2).
+package asp
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Var is a SAT variable, numbered from 1.
+type Var int32
+
+// Lit is a SAT literal: variable with sign. Encoded as 2v for the positive
+// literal and 2v+1 for the negative literal.
+type Lit int32
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1 | 1) }
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Sign reports whether the literal is negative.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("-%d", l.Var())
+	}
+	return fmt.Sprintf("%d", l.Var())
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+type watch struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver is an incremental CDCL SAT solver in the MiniSat lineage:
+// two-literal watches, first-UIP conflict learning, VSIDS-style activities,
+// phase saving (false-first by default, which biases models toward being
+// subset-small — useful for minimal-model generation), Luby restarts, and
+// solving under assumptions.
+type Solver struct {
+	nVars    int
+	clauses  []*clause
+	learnts  []*clause
+	watches  [][]watch // indexed by Lit
+	assign   []lbool   // indexed by Var
+	level    []int32   // indexed by Var
+	reason   []*clause // indexed by Var
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+	heap     varHeap
+	phase    []bool // saved polarity per var (true = assign true first)
+
+	seen   []bool
+	ok     bool // false once a top-level conflict is derived
+	model  modelSnapshot
+	cancel *atomic.Bool // cooperative cancellation; nil = never
+
+	// Stats
+	Conflicts, Decisions, Propagations int64
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	// Var 0 is unused; keep slots so indexing is direct.
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.act = &s.activity
+	return s
+}
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	s.nVars++
+	v := Var(s.nVars)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.push(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+func (s *Solver) valueLit(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a clause. It returns false if the solver becomes
+// trivially unsatisfiable at the top level.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("asp: AddClause while not at decision level 0")
+	}
+	// Normalize: drop duplicate and false literals; detect tautologies and
+	// satisfied clauses.
+	norm := make([]Lit, 0, len(lits))
+	seen := make(map[Lit]bool, len(lits))
+	for _, l := range lits {
+		switch {
+		case s.valueLit(l) == lTrue, seen[l.Neg()]:
+			return true // already satisfied / tautology
+		case s.valueLit(l) == lFalse, seen[l]:
+			continue
+		default:
+			seen[l] = true
+			norm = append(norm, l)
+		}
+	}
+	switch len(norm) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(norm[0], nil) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: norm}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watch{c: c, blocker: l1})
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watch{c: c, blocker: l0})
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.valueLit(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	s.assign[v] = boolToLbool(!l.Sign())
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[l]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if s.valueLit(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			if c.deleted {
+				continue
+			}
+			// Ensure the false literal is at position 1.
+			falseLit := l.Neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				kept = append(kept, watch{c: c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watch{c: c, blocker: first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watch{c: c, blocker: first})
+			if s.valueLit(first) == lFalse {
+				// Conflict: keep remaining watches, restore, return.
+				for wi++; wi < len(ws); wi++ {
+					kept = append(kept, ws[wi])
+				}
+				s.watches[l] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[l] = kept
+	}
+	return nil
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.heap.push(v)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.claInc /= 0.999
+}
+
+// analyze performs first-UIP learning and returns the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to expand from the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.Neg()
+			break
+		}
+		confl = s.reason[v]
+	}
+	// Clear seen flags for the learnt literals and compute backtrack level.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) recordLearnt(lits []Lit) {
+	if len(lits) == 1 {
+		s.enqueue(lits[0], nil)
+		return
+	}
+	c := &clause{lits: lits, learnt: true, act: s.claInc}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	s.enqueue(lits[0], c)
+}
+
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 4000 {
+		return
+	}
+	// Drop the least active half of long learnt clauses.
+	type entry struct {
+		c *clause
+	}
+	var long []*clause
+	for _, c := range s.learnts {
+		if len(c.lits) > 2 && !c.locked(s) {
+			long = append(long, c)
+		}
+	}
+	if len(long) < 100 {
+		return
+	}
+	// Partial selection: mark lowest-activity half as deleted.
+	// Simple threshold on median via sampling is overkill; sort.
+	sortClausesByAct(long)
+	for _, c := range long[:len(long)/2] {
+		c.deleted = true
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !c.deleted {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (c *clause) locked(s *Solver) bool {
+	v := c.lits[0].Var()
+	return s.reason[v] == c && s.assign[v] != lUndef
+}
+
+func sortClausesByAct(cs []*clause) {
+	// insertion-free: simple sort
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].act < cs[j-1].act; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i >= int64(1)<<k {
+			continue
+		}
+		return luby(i - (int64(1) << (k - 1)) + 1)
+	}
+}
+
+// SetCancel installs a cooperative cancellation flag: when it becomes
+// true, in-flight and future Solve calls return false promptly (check
+// Canceled to distinguish cancellation from unsatisfiability).
+func (s *Solver) SetCancel(flag *atomic.Bool) { s.cancel = flag }
+
+// Canceled reports whether the cancellation flag is set.
+func (s *Solver) Canceled() bool { return s.cancel != nil && s.cancel.Load() }
+
+// Solve searches for a model under the given assumptions. It returns true
+// and fixes the model (read with ModelValue) or false if unsatisfiable
+// under the assumptions (or the solver was cancelled). The solver
+// backtracks to level 0 before returning.
+func (s *Solver) Solve(assumptions ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	defer s.cancelUntil(0)
+
+	restart := int64(0)
+	conflictsLeft := int64(0)
+	model := false
+	checkTick := 0
+
+	for {
+		checkTick++
+		if checkTick&1023 == 0 && s.Canceled() {
+			return false
+		}
+		if conflictsLeft <= 0 {
+			restart++
+			conflictsLeft = 100 * luby(restart)
+			s.cancelUntil(0)
+		}
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflictsLeft--
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return false
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Never backtrack past assumptions: if the asserting level is
+			// inside the assumption prefix we handle it by re-deciding.
+			s.cancelUntil(btLevel)
+			s.recordLearnt(learnt)
+			s.decayActivities()
+			continue
+		}
+		// Place assumptions as decisions.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.valueLit(a) {
+			case lTrue:
+				s.newDecisionLevel() // dummy level to keep indexing aligned
+				continue
+			case lFalse:
+				return false
+			}
+			s.newDecisionLevel()
+			s.enqueue(a, nil)
+			continue
+		}
+		s.reduceDB()
+		// Decide.
+		v := s.pickBranchVar()
+		if v == 0 {
+			model = true
+			break
+		}
+		s.Decisions++
+		s.newDecisionLevel()
+		if s.phase[v] {
+			s.enqueue(PosLit(v), nil)
+		} else {
+			s.enqueue(NegLit(v), nil)
+		}
+	}
+	if model {
+		s.saveModel()
+	}
+	return model
+}
+
+func (s *Solver) pickBranchVar() Var {
+	for s.heap.size() > 0 {
+		v := s.heap.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return 0
+}
+
+// modelSnapshot holds the last model found.
+type modelSnapshot []lbool
+
+func (s *Solver) saveModel() {
+	if s.model == nil {
+		s.model = make(modelSnapshot, len(s.assign))
+	}
+	copy(s.model, s.assign)
+}
+
+// ModelValue reports the last model's value for v (only meaningful after a
+// successful Solve).
+func (s *Solver) ModelValue(v Var) bool { return s.model[v] == lTrue }
+
+// SetPhase sets the preferred polarity of v for future decisions.
+func (s *Solver) SetPhase(v Var, b bool) { s.phase[v] = b }
+
+// Okay reports whether the solver is still consistent at the top level.
+func (s *Solver) Okay() bool { return s.ok }

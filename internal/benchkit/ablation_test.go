@@ -1,0 +1,18 @@
+package benchkit
+
+import "testing"
+
+func TestAblationFigure1(t *testing.T) {
+	r := tinyRunner(t)
+	tab, err := r.AblationFigure1(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatal("want one summary row")
+	}
+	// The corrected encoding must never disagree with brute force.
+	if tab.Rows[0][5] != "0" {
+		t.Fatalf("corrected encoding wrong on %s instances", tab.Rows[0][5])
+	}
+}

@@ -1,0 +1,159 @@
+package benchkit
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyRunner uses a very small scale so the complete grid runs in seconds.
+func tinyRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(0.004, 30*time.Second) // L ≈ 128 transcripts, F ≈ 740
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTable1Shapes(t *testing.T) {
+	r := tinyRunner(t)
+	tab, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 databases", len(tab.Rows))
+	}
+	// UniProt must be the largest source (matching + padding rows).
+	var uniprot, entrez int
+	for _, row := range tab.Rows {
+		n, _ := strconv.Atoi(row[3])
+		switch row[0] {
+		case "UniProt":
+			uniprot = n
+		case "EntrezGene":
+			entrez = n
+		}
+	}
+	if uniprot <= entrez {
+		t.Fatalf("UniProt (%d) should dwarf EntrezGene (%d)", uniprot, entrez)
+	}
+}
+
+func TestTable2SuspectRatesOrdered(t *testing.T) {
+	r := tinyRunner(t)
+	tab, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L0 must have 0 suspect facts; L20 the most among L-profiles.
+	rates := map[string]string{}
+	for _, row := range tab.Rows {
+		rates[row[0]] = row[4]
+	}
+	if rates["L0"] != "0.0%" {
+		t.Fatalf("L0 suspect = %s", rates["L0"])
+	}
+	parse := func(s string) float64 {
+		f, _ := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		return f
+	}
+	if !(parse(rates["L20"]) > parse(rates["L9"]) && parse(rates["L9"]) > parse(rates["L3"])) {
+		t.Fatalf("suspect rates not increasing: %v", rates)
+	}
+}
+
+func TestTable3CountsShape(t *testing.T) {
+	r := tinyRunner(t)
+	tab, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11 queries", len(tab.Rows))
+	}
+	counts := map[string]int{}
+	for _, row := range tab.Rows {
+		n, _ := strconv.Atoi(row[1])
+		counts[row[0]] = n
+	}
+	// Shape constraints mirroring Table 3: booleans answer 1; xr6 ≥ xr5;
+	// ep3 ≥ ep2.
+	for _, b := range []string{"ep1", "xr1", "xr4"} {
+		if counts[b] != 1 {
+			t.Fatalf("boolean %s = %d", b, counts[b])
+		}
+	}
+	if counts["xr6"] < counts["xr5"] || counts["ep3"] < counts["ep2"] {
+		t.Fatalf("count shape wrong: %v", counts)
+	}
+	if counts["ep15"] != counts["ep16"] {
+		t.Fatalf("ep15 (%d) and ep16 (%d) project the same join", counts["ep15"], counts["ep16"])
+	}
+}
+
+func TestTable4AndFigure4(t *testing.T) {
+	r := tinyRunner(t)
+	tab4, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab4.Rows) != 7 {
+		t.Fatalf("table4 rows = %d, want 7 profiles", len(tab4.Rows))
+	}
+	fig, err := r.Figure4Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 11 || len(fig.Rows[0]) != 5 {
+		t.Fatalf("figure grid = %dx%d", len(fig.Rows), len(fig.Rows[0]))
+	}
+}
+
+func TestFigure3MonolithicTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monolithic grid in -short mode")
+	}
+	r := tinyRunner(t)
+	fig, err := r.figure("mono S only", []string{"S3"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 11 {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+}
+
+func TestReductionTable(t *testing.T) {
+	r := tinyRunner(t)
+	tab, err := r.ReductionTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatal("want original and reduced rows")
+	}
+	orig, _ := strconv.Atoi(tab.Rows[0][2])
+	reduced, _ := strconv.Atoi(tab.Rows[1][2])
+	if reduced <= orig {
+		t.Fatalf("reduction did not grow target tgds: %d -> %d", orig, reduced)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "333  4") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+package chase
+
+import (
+	"repro/internal/instance"
+	"repro/internal/symtab"
+)
+
+// Core computes the core of an instance with labeled nulls: the smallest
+// sub-instance that is a homomorphic retract (Fagin, Kolaitis, Popa,
+// "Data exchange: getting to the core"). Cores of universal solutions are
+// the preferred materialization targets in data exchange — they are unique
+// up to isomorphism and contain no redundant nulls.
+//
+// The algorithm iteratively looks for a proper retraction: a homomorphism
+// from the instance into itself whose image omits at least one null (by
+// mapping that null to some other value while fixing constants). This is
+// exponential in the worst case and intended for modest instances.
+func Core(in *instance.Instance) *instance.Instance {
+	cur := in.Clone()
+	for {
+		retract, ok := properRetraction(cur)
+		if !ok {
+			return cur
+		}
+		cur = instance.ApplyValueMap(cur, retract)
+	}
+}
+
+// properRetraction searches for a homomorphism h of cur into itself with
+// h(n) ≠ n for at least one null n. Returns the value map if found.
+func properRetraction(cur *instance.Instance) (map[symtab.Value]symtab.Value, bool) {
+	nulls := cur.Nulls()
+	for _, n := range nulls {
+		// Try to fold n onto each other domain value.
+		for v := range cur.ActiveDomain() {
+			if v == n {
+				continue
+			}
+			// Seed the homomorphism with n ↦ v and try to extend it to a
+			// full endomorphism.
+			if h, ok := extendEndomorphism(cur, n, v); ok {
+				return h, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// extendEndomorphism checks whether the map {seed ↦ img} extends to a
+// homomorphism cur → cur, reusing the instance homomorphism search on a
+// copy where the seed null has been replaced.
+func extendEndomorphism(cur *instance.Instance, seed, img symtab.Value) (map[symtab.Value]symtab.Value, bool) {
+	folded := instance.ApplyValueMap(cur, map[symtab.Value]symtab.Value{seed: img})
+	h, ok := instance.Homomorphism(folded, cur)
+	if !ok {
+		return nil, false
+	}
+	// Compose: seed ↦ img, then h on the rest.
+	out := map[symtab.Value]symtab.Value{seed: img}
+	if to, ok := h[img]; ok {
+		out[seed] = to
+	}
+	for from, to := range h {
+		out[from] = to
+	}
+	return out, true
+}

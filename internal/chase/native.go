@@ -1,0 +1,281 @@
+// Package chase implements the chase procedure in two flavours:
+//
+//   - Native: the standard (restricted) chase for glav+(wa-glav, egd)
+//     mappings, introducing labeled nulls for existential variables and
+//     unifying values when egds fire. Used for ground truth, solution
+//     existence, and universal-solution construction (Fagin et al. 2005).
+//
+//   - GAV provenance chase: a datalog fixpoint for gav+(gav, egd) mappings
+//     that records every ground derivation (the paper's support sets,
+//     Definition 4) and every egd violation; this powers repair envelopes
+//     and the segmentary pipeline.
+package chase
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/mapping"
+	"repro/internal/symtab"
+)
+
+// ErrNoSolution is returned when an egd attempts to equate two distinct
+// constants, i.e. the chase fails and the source instance has no solution.
+var ErrNoSolution = errors.New("chase: egd failure, no solution exists")
+
+// maxRounds bounds the number of chase rounds as a safety net against
+// non-terminating inputs. Weakly acyclic chases converge in rounds bounded
+// by the derivation depth, which is far below this for any realistic
+// mapping; inputs that legitimately need deeper iteration (e.g. transitive
+// closure over a path of thousands of edges expressed without doubling)
+// would need the constant raised.
+const maxRounds = 2_000
+
+// Native runs the standard chase of src with m and returns the combined
+// instance I ∪ J where J is the canonical universal solution. It returns
+// ErrNoSolution if an egd fails. The mapping's target tgds should be weakly
+// acyclic for guaranteed termination.
+//
+// The result contains the (possibly value-rewritten) source facts alongside
+// target facts; restrict to m.Target for J alone.
+func Native(m *mapping.Mapping, src *instance.Instance) (*instance.Instance, error) {
+	work := src.Clone()
+	tgds := m.AllTgds()
+
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("chase: did not terminate after %d rounds (mapping not weakly acyclic?)", maxRounds)
+		}
+		changed := false
+		// Tgd phase: fire every unsatisfied trigger.
+		for _, d := range tgds {
+			if applyTGD(d, work, m.U) {
+				changed = true
+			}
+		}
+		// Egd phase: collect all equalities demanded by egds, merge.
+		merged, err := applyEGDs(m.TEgds, work)
+		if err != nil {
+			return nil, err
+		}
+		if merged {
+			changed = true
+		}
+		if !changed {
+			return work, nil
+		}
+	}
+}
+
+// HasSolution reports whether src has a solution w.r.t. m (for weakly
+// acyclic mappings, iff the chase succeeds).
+func HasSolution(m *mapping.Mapping, src *instance.Instance) bool {
+	_, err := Native(m, src)
+	return err == nil
+}
+
+// applyTGD fires every trigger of d whose head is not already satisfied,
+// adding fresh nulls for existential variables. Reports whether any fact
+// was added.
+func applyTGD(d *logic.TGD, work *instance.Instance, u *symtab.Universe) bool {
+	plan := cq.Compile(d.Body, work)
+	type trigger struct{ env []symtab.Value }
+	var triggers []trigger
+	plan.ForEach(work, func(env []symtab.Value) bool {
+		triggers = append(triggers, trigger{env: append([]symtab.Value(nil), env...)})
+		return true
+	})
+	added := false
+	for _, tr := range triggers {
+		sub := make(map[string]symtab.Value, len(plan.VarSlot))
+		for v, slot := range plan.VarSlot {
+			sub[v] = tr.env[slot]
+		}
+		if headSatisfied(d.Head, sub, work) {
+			continue
+		}
+		// Fire: fresh nulls for existential variables.
+		for _, y := range d.ExistentialVars() {
+			sub[y] = u.FreshNull()
+		}
+		for _, a := range d.Head {
+			args := make([]symtab.Value, len(a.Terms))
+			for i, t := range a.Terms {
+				if t.IsVar() {
+					args[i] = sub[t.Var]
+				} else {
+					args[i] = t.Val
+				}
+			}
+			if work.Add(a.Rel, args) {
+				added = true
+			}
+		}
+	}
+	return added
+}
+
+// headSatisfied reports whether sub extends to a substitution of the head's
+// existential variables making every head atom a fact of work (the
+// restricted-chase applicability test).
+func headSatisfied(head []logic.Atom, sub map[string]symtab.Value, work *instance.Instance) bool {
+	ext := make(map[string]symtab.Value)
+	return matchHead(head, 0, sub, ext, work)
+}
+
+func matchHead(head []logic.Atom, i int, sub, ext map[string]symtab.Value, work *instance.Instance) bool {
+	if i == len(head) {
+		return true
+	}
+	a := head[i]
+	pattern := make([]symtab.Value, len(a.Terms))
+	var free []int
+	for j, t := range a.Terms {
+		switch {
+		case !t.IsVar():
+			pattern[j] = t.Val
+		default:
+			if v, ok := sub[t.Var]; ok {
+				pattern[j] = v
+			} else if v, ok := ext[t.Var]; ok {
+				pattern[j] = v
+			} else {
+				pattern[j] = symtab.None
+				free = append(free, j)
+			}
+		}
+	}
+	if len(free) == 0 {
+		return work.Contains(a.Rel, pattern) && matchHead(head, i+1, sub, ext, work)
+	}
+	for _, tup := range work.Match(a.Rel, pattern) {
+		var bound []string
+		ok := true
+		for _, j := range free {
+			v := a.Terms[j].Var
+			if prev, exists := ext[v]; exists {
+				if prev != tup[j] {
+					ok = false
+					break
+				}
+				continue
+			}
+			ext[v] = tup[j]
+			bound = append(bound, v)
+		}
+		if ok && matchHead(head, i+1, sub, ext, work) {
+			return true
+		}
+		for _, v := range bound {
+			delete(ext, v)
+		}
+	}
+	return false
+}
+
+// applyEGDs finds every violated ground egd, merges the demanded values via
+// union-find, and rewrites the instance. It returns whether anything merged,
+// or ErrNoSolution on a constant/constant conflict.
+func applyEGDs(egds []*logic.EGD, work *instance.Instance) (bool, error) {
+	uf := newUnionFind()
+	demand := false
+	for _, d := range egds {
+		plan := cq.Compile(d.Body, work)
+		var fail error
+		plan.ForEach(work, func(env []symtab.Value) bool {
+			l := egdSide(d.L, plan, env)
+			r := egdSide(d.R, plan, env)
+			if l == r {
+				return true
+			}
+			demand = true
+			if err := uf.union(l, r); err != nil {
+				fail = err
+				return false
+			}
+			return true
+		})
+		if fail != nil {
+			return false, fail
+		}
+	}
+	if !demand {
+		return false, nil
+	}
+	// Rewrite the instance through the union-find representatives.
+	rewrite := uf.mapping()
+	if len(rewrite) == 0 {
+		return false, nil
+	}
+	merged := instance.ApplyValueMap(work, rewrite)
+	// Replace work's contents in place.
+	for _, f := range work.Facts() {
+		work.RemoveFact(f)
+	}
+	work.AddAll(merged)
+	return true, nil
+}
+
+func egdSide(t logic.Term, plan *cq.Plan, env []symtab.Value) symtab.Value {
+	if t.IsVar() {
+		return env[plan.VarSlot[t.Var]]
+	}
+	return t.Val
+}
+
+// unionFind merges values with the invariant that a class containing a
+// constant is represented by that constant; merging two distinct constants
+// is an error (egd failure).
+type unionFind struct {
+	parent map[symtab.Value]symtab.Value
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[symtab.Value]symtab.Value)}
+}
+
+func (uf *unionFind) find(v symtab.Value) symtab.Value {
+	p, ok := uf.parent[v]
+	if !ok || p == v {
+		return v
+	}
+	root := uf.find(p)
+	uf.parent[v] = root
+	return root
+}
+
+func (uf *unionFind) union(a, b symtab.Value) error {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return nil
+	}
+	if ra.IsConst() && rb.IsConst() {
+		return ErrNoSolution
+	}
+	// Keep a constant as representative; otherwise keep the smaller null id.
+	switch {
+	case ra.IsConst():
+		uf.parent[rb] = ra
+	case rb.IsConst():
+		uf.parent[ra] = rb
+	case ra > rb: // both nulls; prefer the earlier null (greater Value is earlier... nulls are negative; -1 > -2, null 1 earlier)
+		uf.parent[rb] = ra
+	default:
+		uf.parent[ra] = rb
+	}
+	return nil
+}
+
+// mapping returns the non-identity value rewrites.
+func (uf *unionFind) mapping() map[symtab.Value]symtab.Value {
+	out := make(map[symtab.Value]symtab.Value)
+	for v := range uf.parent {
+		if r := uf.find(v); r != v {
+			out[v] = r
+		}
+	}
+	return out
+}

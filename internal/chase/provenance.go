@@ -1,0 +1,357 @@
+package chase
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/mapping"
+	"repro/internal/symtab"
+)
+
+// FactID indexes facts within a Provenance.
+type FactID int32
+
+// Violation is a violated ground egd: a grounding of an egd whose body
+// holds in the canonical quasi-solution but whose equality fails on two
+// distinct constants.
+type Violation struct {
+	EgdIndex int      // index into the mapping's TEgds
+	Body     []FactID // ground body facts, ascending
+	L, R     symtab.Value
+}
+
+// Provenance is the result of the GAV chase: the canonical quasi-solution
+// together with the full support-set hypergraph and the violation set.
+type Provenance struct {
+	M *mapping.Mapping
+
+	// Instance is I ∪ J: source facts plus every derived target fact
+	// (the canonical quasi-solution of Definition 2 restricted to T).
+	Instance *instance.Instance
+
+	facts    []instance.Fact
+	ids      map[string]FactID
+	isSource []bool
+
+	// supports[f] lists the support sets of fact f (Definition 4): each is
+	// a sorted list of fact ids whose conjunction derives f via one ground
+	// tgd. Source facts have none.
+	supports [][][]FactID
+	supSeen  []map[string]bool
+
+	// usedIn[g] lists (fact, support-set index) pairs where g occurs, i.e.
+	// the reverse hyperedges used to compute influences (Definition 7).
+	usedIn [][]SupportRef
+
+	Violations []Violation
+}
+
+// SupportRef locates one occurrence of a fact inside another fact's
+// support set: Supports(Fact)[Set] contains the referencing occurrence.
+type SupportRef struct {
+	Fact FactID
+	Set  int32
+}
+
+// NumFacts returns the number of facts (source and derived).
+func (p *Provenance) NumFacts() int { return len(p.facts) }
+
+// Fact returns the fact with the given id.
+func (p *Provenance) Fact(id FactID) instance.Fact { return p.facts[id] }
+
+// IsSource reports whether the fact is a source fact of the original input.
+func (p *Provenance) IsSource(id FactID) bool { return p.isSource[id] }
+
+// FactIDOf returns the id of a fact, if present.
+func (p *Provenance) FactIDOf(f instance.Fact) (FactID, bool) {
+	id, ok := p.ids[f.Key()]
+	return id, ok
+}
+
+// Supports returns the support sets of a fact. The result is shared; do not
+// modify.
+func (p *Provenance) Supports(id FactID) [][]FactID { return p.supports[id] }
+
+// UsedIn returns the reverse hyperedges of a fact: every (fact, set index)
+// pair whose support set contains it. The result is shared; do not modify.
+func (p *Provenance) UsedIn(id FactID) []SupportRef { return p.usedIn[id] }
+
+func (p *Provenance) intern(f instance.Fact, source bool) (FactID, bool) {
+	k := f.Key()
+	if id, ok := p.ids[k]; ok {
+		return id, false
+	}
+	id := FactID(len(p.facts))
+	p.facts = append(p.facts, f)
+	p.ids[k] = id
+	p.isSource = append(p.isSource, source)
+	p.supports = append(p.supports, nil)
+	p.supSeen = append(p.supSeen, nil)
+	p.usedIn = append(p.usedIn, nil)
+	return id, true
+}
+
+func (p *Provenance) addSupport(f FactID, set []FactID) {
+	sorted := append([]FactID(nil), set...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	key := encodeFactIDs(sorted)
+	if p.supSeen[f] == nil {
+		p.supSeen[f] = make(map[string]bool)
+	}
+	if p.supSeen[f][key] {
+		return
+	}
+	p.supSeen[f][key] = true
+	idx := int32(len(p.supports[f]))
+	p.supports[f] = append(p.supports[f], sorted)
+	for _, g := range sorted {
+		p.usedIn[g] = append(p.usedIn[g], SupportRef{Fact: f, Set: idx})
+	}
+}
+
+func encodeFactIDs(ids []FactID) string {
+	b := make([]byte, 0, 4*len(ids))
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// GAV runs the datalog chase of src with the GAV mapping m, recording every
+// ground derivation and every egd violation. It returns an error if m is not
+// gav+(gav, egd).
+//
+// The chase iterates full rule passes until a pass adds no new facts; since
+// fact sets grow monotonically, the final pass enumerates every ground
+// derivation valid in the final instance, so the support-set hypergraph is
+// complete (every support set of Definition 4 is recorded).
+func GAV(m *mapping.Mapping, src *instance.Instance) (*Provenance, error) {
+	if !m.IsGAV() {
+		return nil, fmt.Errorf("chase: GAV chase requires a gav+(gav, egd) mapping")
+	}
+	p := &Provenance{
+		M:        m,
+		Instance: src.Clone(),
+		ids:      make(map[string]FactID, src.Len()*2),
+	}
+	for _, f := range src.Facts() {
+		p.intern(f, true)
+	}
+
+	tgds := m.AllTgds()
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("chase: GAV chase did not terminate after %d rounds", maxRounds)
+		}
+		grew := false
+		for _, d := range tgds {
+			if p.applyGAVTGD(d) {
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	p.findViolations()
+	return p, nil
+}
+
+// applyGAVTGD enumerates all body matches over the current instance,
+// derives head facts, and records support sets. Reports whether any new
+// fact was added.
+func (p *Provenance) applyGAVTGD(d *logic.TGD) bool {
+	head := d.Head[0]
+	plan := cq.Compile(d.Body, p.Instance)
+	type firing struct {
+		args []symtab.Value
+		body []FactID
+	}
+	var firings []firing
+	plan.ForEach(p.Instance, func(env []symtab.Value) bool {
+		args := make([]symtab.Value, len(head.Terms))
+		for i, t := range head.Terms {
+			if t.IsVar() {
+				args[i] = env[plan.VarSlot[t.Var]]
+			} else {
+				args[i] = t.Val
+			}
+		}
+		body := make([]FactID, len(d.Body))
+		for i, a := range d.Body {
+			bargs := make([]symtab.Value, len(a.Terms))
+			for j, t := range a.Terms {
+				if t.IsVar() {
+					bargs[j] = env[plan.VarSlot[t.Var]]
+				} else {
+					bargs[j] = t.Val
+				}
+			}
+			id, ok := p.ids[instance.Fact{Rel: a.Rel, Args: bargs}.Key()]
+			if !ok {
+				panic("chase: body fact not interned")
+			}
+			body[i] = id
+		}
+		firings = append(firings, firing{args: args, body: body})
+		return true
+	})
+	added := false
+	for _, fr := range firings {
+		f := instance.Fact{Rel: head.Rel, Args: fr.args}
+		if p.Instance.AddFact(f) {
+			added = true
+		}
+		id, _ := p.intern(f, false)
+		// Self-supports (a fact deriving itself) carry no information for
+		// closures/influence and would create spurious cycles; skip them.
+		self := false
+		for _, b := range fr.body {
+			if b == id {
+				self = true
+				break
+			}
+		}
+		if !self {
+			p.addSupport(id, fr.body)
+		}
+	}
+	return added
+}
+
+// findViolations enumerates violated ground egds over the final instance.
+func (p *Provenance) findViolations() {
+	for ei, d := range p.M.TEgds {
+		plan := cq.Compile(d.Body, p.Instance)
+		plan.ForEach(p.Instance, func(env []symtab.Value) bool {
+			l := egdSide(d.L, plan, env)
+			r := egdSide(d.R, plan, env)
+			if l == r {
+				return true
+			}
+			body := make([]FactID, len(d.Body))
+			for i, a := range d.Body {
+				bargs := make([]symtab.Value, len(a.Terms))
+				for j, t := range a.Terms {
+					if t.IsVar() {
+						bargs[j] = env[plan.VarSlot[t.Var]]
+					} else {
+						bargs[j] = t.Val
+					}
+				}
+				id, ok := p.ids[instance.Fact{Rel: a.Rel, Args: bargs}.Key()]
+				if !ok {
+					panic("chase: violation body fact not interned")
+				}
+				body[i] = id
+			}
+			sort.Slice(body, func(i, j int) bool { return body[i] < body[j] })
+			p.Violations = append(p.Violations, Violation{EgdIndex: ei, Body: body, L: l, R: r})
+			return true
+		})
+	}
+	// Dedup violations that ground to the same body and equality (e.g. from
+	// symmetric matches of the same egd).
+	seen := make(map[string]bool, len(p.Violations))
+	uniq := p.Violations[:0]
+	for _, v := range p.Violations {
+		l, r := v.L, v.R
+		if l > r {
+			l, r = r, l
+		}
+		key := fmt.Sprintf("%d|%s|%d|%d", v.EgdIndex, encodeFactIDs(v.Body), l, r)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		uniq = append(uniq, v)
+	}
+	p.Violations = uniq
+}
+
+// SupportClosure returns the support closure of the given facts
+// (Definition 4): the least set containing seed and, for every member g,
+// every fact belonging to a support set of g.
+func (p *Provenance) SupportClosure(seed []FactID) map[FactID]bool {
+	closure := make(map[FactID]bool)
+	stack := append([]FactID(nil), seed...)
+	for _, f := range seed {
+		closure[f] = true
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, set := range p.supports[f] {
+			for _, g := range set {
+				if !closure[g] {
+					closure[g] = true
+					stack = append(stack, g)
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// Influence returns the influence of the given fact set (Definition 7): the
+// least superset E' of seed such that whenever g ∈ E', every fact with a
+// support set containing g is also in E'.
+func (p *Provenance) Influence(seed map[FactID]bool) map[FactID]bool {
+	infl := make(map[FactID]bool, len(seed))
+	var stack []FactID
+	for f := range seed {
+		infl[f] = true
+		stack = append(stack, f)
+	}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ref := range p.usedIn[g] {
+			if !infl[ref.Fact] {
+				infl[ref.Fact] = true
+				stack = append(stack, ref.Fact)
+			}
+		}
+	}
+	return infl
+}
+
+// SafeDerivable returns the set of facts derivable using only facts outside
+// `excluded`: source facts not excluded are derivable; a derived fact is
+// derivable if it is not excluded and some support set is entirely
+// derivable. This equals chase(I \ excluded-source-facts) by monotonicity,
+// computed on the hypergraph without re-chasing.
+func (p *Provenance) SafeDerivable(excluded map[FactID]bool) map[FactID]bool {
+	derivable := make(map[FactID]bool)
+	// Count per (fact, support set) how many members are pending; fire when 0.
+	type setState struct{ pending int }
+	states := make([][]setState, len(p.facts))
+	var queue []FactID
+	for id := range p.facts {
+		f := FactID(id)
+		states[id] = make([]setState, len(p.supports[id]))
+		for si, set := range p.supports[id] {
+			states[id][si].pending = len(set)
+		}
+		if p.isSource[id] && !excluded[f] {
+			derivable[f] = true
+			queue = append(queue, f)
+		}
+	}
+	for len(queue) > 0 {
+		g := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ref := range p.usedIn[g] {
+			st := &states[ref.Fact][ref.Set]
+			st.pending--
+			if st.pending == 0 && !derivable[ref.Fact] && !excluded[ref.Fact] {
+				derivable[ref.Fact] = true
+				queue = append(queue, ref.Fact)
+			}
+		}
+	}
+	return derivable
+}

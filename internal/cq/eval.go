@@ -1,0 +1,238 @@
+// Package cq evaluates conjunctive queries and unions of conjunctive queries
+// over instances. Evaluation compiles a body into a join plan (greedy
+// bound-first atom ordering using relation cardinalities) and enumerates
+// matches by indexed backtracking.
+package cq
+
+import (
+	"sort"
+
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/symtab"
+)
+
+// Plan is a compiled conjunctive body.
+type Plan struct {
+	atoms   []logic.Atom
+	VarSlot map[string]int // variable name -> environment slot
+	NumVars int
+}
+
+// Compile orders the atoms of body for evaluation against in and assigns
+// environment slots to variables. A nil instance compiles with arity-based
+// heuristics only.
+func Compile(body []logic.Atom, in *instance.Instance) *Plan {
+	p := &Plan{VarSlot: make(map[string]int)}
+	remaining := append([]logic.Atom(nil), body...)
+	bound := make(map[string]bool)
+
+	size := func(a logic.Atom) int {
+		if in == nil {
+			return 1 << 20
+		}
+		return in.LenOf(a.Rel)
+	}
+	// Greedy: repeatedly pick the atom with the most bound positions,
+	// breaking ties by smaller relation cardinality.
+	for len(remaining) > 0 {
+		best, bestScore, bestSize := -1, -1, 0
+		for i, a := range remaining {
+			score := 0
+			for _, t := range a.Terms {
+				if !t.IsVar() || bound[t.Var] {
+					score++
+				}
+			}
+			sz := size(a)
+			if score > bestScore || (score == bestScore && sz < bestSize) {
+				best, bestScore, bestSize = i, score, sz
+			}
+		}
+		a := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		p.atoms = append(p.atoms, a)
+		for _, t := range a.Terms {
+			if t.IsVar() {
+				bound[t.Var] = true
+				if _, ok := p.VarSlot[t.Var]; !ok {
+					p.VarSlot[t.Var] = p.NumVars
+					p.NumVars++
+				}
+			}
+		}
+	}
+	return p
+}
+
+// ForEach enumerates every substitution satisfying the plan's body in in.
+// env is indexed by VarSlot; the callback must not retain env. Returning
+// false stops the enumeration early. ForEach reports whether enumeration ran
+// to completion.
+func (p *Plan) ForEach(in *instance.Instance, fn func(env []symtab.Value) bool) bool {
+	env := make([]symtab.Value, p.NumVars)
+	return p.match(in, 0, env, fn)
+}
+
+func (p *Plan) match(in *instance.Instance, i int, env []symtab.Value, fn func([]symtab.Value) bool) bool {
+	if i == len(p.atoms) {
+		return fn(env)
+	}
+	a := p.atoms[i]
+	pattern := make([]symtab.Value, len(a.Terms))
+	for j, t := range a.Terms {
+		if t.IsVar() {
+			pattern[j] = env[p.VarSlot[t.Var]] // None when unbound
+		} else {
+			pattern[j] = t.Val
+		}
+	}
+	for _, tup := range in.Match(a.Rel, pattern) {
+		var boundSlots []int
+		ok := true
+		for j, t := range a.Terms {
+			if !t.IsVar() {
+				continue
+			}
+			s := p.VarSlot[t.Var]
+			switch {
+			case env[s] == symtab.None:
+				env[s] = tup[j]
+				boundSlots = append(boundSlots, s)
+			case env[s] != tup[j]:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok && !p.match(in, i+1, env, fn) {
+			return false
+		}
+		for _, s := range boundSlots {
+			env[s] = symtab.None
+		}
+	}
+	return true
+}
+
+// AnswerSet is a deduplicated set of answer tuples.
+type AnswerSet struct {
+	tuples map[string][]symtab.Value
+}
+
+// NewAnswerSet returns an empty answer set.
+func NewAnswerSet() *AnswerSet {
+	return &AnswerSet{tuples: make(map[string][]symtab.Value)}
+}
+
+// Add inserts a tuple (copied) and reports whether it was new.
+func (s *AnswerSet) Add(t []symtab.Value) bool {
+	k := instance.EncodeTuple(t)
+	if _, ok := s.tuples[k]; ok {
+		return false
+	}
+	s.tuples[k] = append([]symtab.Value(nil), t...)
+	return true
+}
+
+// Contains reports membership.
+func (s *AnswerSet) Contains(t []symtab.Value) bool {
+	_, ok := s.tuples[instance.EncodeTuple(t)]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (s *AnswerSet) Len() int { return len(s.tuples) }
+
+// Tuples returns the tuples in a deterministic (key-sorted) order.
+func (s *AnswerSet) Tuples() [][]symtab.Value {
+	keys := make([]string, 0, len(s.tuples))
+	for k := range s.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]symtab.Value, len(keys))
+	for i, k := range keys {
+		out[i] = s.tuples[k]
+	}
+	return out
+}
+
+// Intersect removes tuples not present in other and returns s.
+func (s *AnswerSet) Intersect(other *AnswerSet) *AnswerSet {
+	for k := range s.tuples {
+		if _, ok := other.tuples[k]; !ok {
+			delete(s.tuples, k)
+		}
+	}
+	return s
+}
+
+// WithoutNulls returns the subset of tuples containing only constants
+// (the paper's q↓).
+func (s *AnswerSet) WithoutNulls() *AnswerSet {
+	out := NewAnswerSet()
+	for _, t := range s.tuples {
+		hasNull := false
+		for _, v := range t {
+			if v.IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if !hasNull {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the answer set.
+func (s *AnswerSet) Clone() *AnswerSet {
+	out := NewAnswerSet()
+	for k, t := range s.tuples {
+		out.tuples[k] = t
+	}
+	return out
+}
+
+// EvalUCQ evaluates q over in and returns all answers (q(I), including
+// tuples with nulls; apply WithoutNulls for q↓).
+func EvalUCQ(q *logic.UCQ, in *instance.Instance) *AnswerSet {
+	out := NewAnswerSet()
+	for ci := range q.Clauses {
+		c := &q.Clauses[ci]
+		plan := Compile(c.Body, in)
+		tuple := make([]symtab.Value, len(c.Head))
+		plan.ForEach(in, func(env []symtab.Value) bool {
+			for i, t := range c.Head {
+				if t.IsVar() {
+					tuple[i] = env[plan.VarSlot[t.Var]]
+				} else {
+					tuple[i] = t.Val
+				}
+			}
+			out.Add(tuple)
+			return true
+		})
+	}
+	return out
+}
+
+// EvalBoolean evaluates a boolean UCQ (arity 0) and reports whether it holds.
+func EvalBoolean(q *logic.UCQ, in *instance.Instance) bool {
+	for ci := range q.Clauses {
+		c := &q.Clauses[ci]
+		plan := Compile(c.Body, in)
+		found := false
+		plan.ForEach(in, func([]symtab.Value) bool {
+			found = true
+			return false
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

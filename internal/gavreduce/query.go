@@ -1,0 +1,70 @@
+package gavreduce
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/logic"
+)
+
+// RewriteQuery compiles a UCQ over the original target schema into a UCQ
+// over the reduced target schema with
+//
+//	XR-Certain(q, I, Orig) = XR-Certain(q̂, I, M)
+//
+// restricted, as usual for certain answers, to tuples of constants.
+//
+// Each clause body is expanded over every reachable shape assignment, with
+// joins rewritten through EQ relations. A head variable whose home shape is
+// a skolem shape is extracted through EQ[s|const] — its value is a certain
+// constant only when the null it denotes has been equated to a constant.
+//
+// The returned UCQ may have zero clauses when no expansion can yield
+// constant answers; callers must treat that as "no answers".
+func (r *Reduction) RewriteQuery(q *logic.UCQ) (*logic.UCQ, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Identity {
+		return q, nil
+	}
+	out := &logic.UCQ{Name: q.Name, Arity: q.Arity}
+	for ci := range q.Clauses {
+		c := &q.Clauses[ci]
+		for _, a := range c.Body {
+			if !r.Orig.Target.Contains(a.Rel) {
+				return nil, fmt.Errorf("gavreduce: query %s mentions non-target relation %s",
+					q.Name, r.Orig.Cat.ByID(a.Rel).Name)
+			}
+		}
+		r.expandBody(c.Body, false, func(e *expansion) {
+			head := make([]logic.Term, 0, len(c.Head))
+			atoms := e.atoms
+			for _, t := range c.Head {
+				if !t.IsVar() {
+					head = append(head, t)
+					continue
+				}
+				h := e.home[t.Var]
+				if h.IsConst() {
+					head = append(head, e.homeVars[t.Var][0])
+					continue
+				}
+				// Skolem-shaped answer variable: certain only if equated to
+				// a constant; extract through EQ[h|c].
+				xc := e.freshVars(1)[0]
+				eqArgs := append(append([]logic.Term{}, e.homeVars[t.Var]...), xc)
+				atoms = append(atoms, logic.Atom{Rel: r.eqRel(h, r.shapes.konst).ID, Terms: eqArgs})
+				head = append(head, xc)
+			}
+			out.Clauses = append(out.Clauses, logic.CQ{Head: head, Body: atoms})
+		})
+	}
+	if len(out.Clauses) == 0 {
+		return out, nil
+	}
+	// Shape expansion produces redundant clauses (e.g. EQ-indirected
+	// variants subsumed by direct ones); minimize each clause to its core
+	// and drop subsumed clauses (Chandra–Merlin).
+	return cq.MinimizeUCQ(r.Orig.Cat, out), nil
+}

@@ -1,0 +1,173 @@
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/instance"
+	"repro/internal/parser"
+	"repro/internal/schema"
+	"repro/internal/symtab"
+)
+
+// Profile describes one benchmark instance: a number of transcripts and the
+// fraction of them involved in target constraint violations ("suspect
+// transcripts", Section 5.1).
+type Profile struct {
+	Name        string
+	Transcripts int
+	SuspectRate float64 // fraction of transcripts made suspect
+	Seed        int64
+}
+
+// Profiles returns the paper's instance grid (Table 2) scaled by the given
+// factor. scale = 1 approximates the paper's source-tuple counts
+// (S≈3.5k, M≈36k, L≈322k, F≈1.85M source tuples at roughly 10 source
+// tuples per transcript); the default harness uses scale = 0.1.
+func Profiles(scale float64) []Profile {
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	return []Profile{
+		{Name: "L0", Transcripts: n(32000), SuspectRate: 0.00, Seed: 7001},
+		{Name: "L3", Transcripts: n(32000), SuspectRate: 0.03, Seed: 7002},
+		{Name: "L9", Transcripts: n(32000), SuspectRate: 0.09, Seed: 7003},
+		{Name: "L20", Transcripts: n(32000), SuspectRate: 0.20, Seed: 7004},
+		{Name: "S3", Transcripts: n(350), SuspectRate: 0.03, Seed: 7005},
+		{Name: "M3", Transcripts: n(3600), SuspectRate: 0.03, Seed: 7006},
+		{Name: "F3", Transcripts: n(185000), SuspectRate: 0.029, Seed: 7007},
+	}
+}
+
+// ProfileByName returns the named profile from Profiles(scale).
+func ProfileByName(name string, scale float64) (Profile, bool) {
+	for _, p := range Profiles(scale) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Generate synthesizes the source instance for a profile. Generation is
+// deterministic in the profile's seed.
+//
+// Per transcript t the generator emits:
+//
+//	ComputedAlignments, ComputedCrossref        (UCSC gene model)
+//	RefSeqTranscript, RefSeqSource, RefSeqReference, RefSeqGene, RefSeqProtein
+//	UniProt                                     (matching protein row)
+//
+// plus one EntrezGene row per gene (≈ one per 3 transcripts) and one
+// unmatched UniProt padding row per 2 transcripts (UniProt dwarfs the other
+// sources in the real data). Suspect transcripts get, alternating, an exon
+// count disagreement (Figure 2A) or a gene symbol disagreement (Figure 2B).
+func Generate(w *parser.World, p Profile) *instance.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := instance.New(w.Cat)
+	u := w.U
+
+	rel := func(name string) *relHandle {
+		r, ok := w.Cat.ByName(name)
+		if !ok {
+			panic("genome: unknown relation " + name)
+		}
+		return &relHandle{in: in, u: u, id: r.ID}
+	}
+	ca := rel("ComputedAlignments")
+	cc := rel("ComputedCrossref")
+	rst := rel("RefSeqTranscript")
+	rss := rel("RefSeqSource")
+	rsr := rel("RefSeqReference")
+	rsg := rel("RefSeqGene")
+	rsp := rel("RefSeqProtein")
+	ez := rel("EntrezGene")
+	up := rel("UniProt")
+
+	chroms := []string{"chr1", "chr2", "chr3", "chr7", "chr11", "chr17", "chrX"}
+	nGenes := p.Transcripts/3 + 1
+	nSuspect := int(float64(p.Transcripts)*p.SuspectRate + 0.5)
+
+	// Emit genes.
+	for g := 0; g < nGenes; g++ {
+		ez.add(entrezID(g), symbol(g), fmt.Sprintf("protein coding gene %d", g))
+	}
+
+	for t := 0; t < p.Transcripts; t++ {
+		kg := fmt.Sprintf("uc%06d.1", t)
+		rs := fmt.Sprintf("NM_%06d", t)
+		pa := fmt.Sprintf("P%05d", t)
+		gene := t % nGenes
+		exons := 2 + rng.Intn(30)
+		txStart := 1000 + rng.Intn(1_000_000)
+		txEnd := txStart + 500 + rng.Intn(100_000)
+		chrom := chroms[gene%len(chroms)]
+		strand := "+"
+		if rng.Intn(2) == 0 {
+			strand = "-"
+		}
+
+		suspect := t < nSuspect
+		exonConflict := suspect && t%2 == 0
+		symbolConflict := suspect && t%2 == 1
+
+		refseqExons := exons
+		if exonConflict {
+			refseqExons = exons + 1 + rng.Intn(3)
+		}
+		refseqSymbol := symbol(gene)
+		if symbolConflict {
+			refseqSymbol = symbol(gene) + "-ALT"
+		}
+
+		ca.add(kg, chrom, strand, itostr(txStart), itostr(txEnd),
+			itostr(txStart+10), itostr(txEnd-10), itostr(exons),
+			exonList(rng, txStart, exons), exonList(rng, txStart+50, exons),
+			fmt.Sprintf("align%06d", t))
+		cc.add(kg, rs, pa)
+		rst.add(rs, itostr(refseqExons), fmt.Sprintf("%s isoform %d", symbol(gene), t%5))
+		rss.add(rs, "Homo sapiens", tissue(rng))
+		rsr.add(rs, fmt.Sprintf("PMID%07d", 1000000+t), fmt.Sprintf("Author%d", gene))
+		rsg.add(rs, refseqSymbol, entrezID(gene))
+		rsp.add(rs, pa, fmt.Sprintf("%s protein", symbol(gene)))
+		up.add(pa, symbol(gene)+"_HUMAN", "Homo sapiens")
+		if t%2 == 0 {
+			// Unmatched padding row (the real UniProt is mostly unrelated
+			// organisms and isoforms).
+			up.add(fmt.Sprintf("Q%05d", t), fmt.Sprintf("PAD%d_MOUSE", t), "Mus musculus")
+		}
+	}
+	return in
+}
+
+type relHandle struct {
+	in *instance.Instance
+	u  *symtab.Universe
+	id schema.RelID
+}
+
+func (h *relHandle) add(vals ...string) {
+	args := make([]symtab.Value, len(vals))
+	for i, v := range vals {
+		args[i] = h.u.Const(v)
+	}
+	h.in.Add(h.id, args)
+}
+
+func entrezID(g int) string { return fmt.Sprintf("%d", 10000+g) }
+func symbol(g int) string   { return fmt.Sprintf("SYM%d", g) }
+func itostr(n int) string   { return fmt.Sprintf("%d", n) }
+
+func exonList(rng *rand.Rand, start, n int) string {
+	// A compact stand-in for the comma-separated exon coordinate blobs.
+	return fmt.Sprintf("%d:%d", start, n)
+}
+
+func tissue(rng *rand.Rand) string {
+	ts := []string{"brain", "liver", "testis", "kidney", "blood"}
+	return ts[rng.Intn(len(ts))]
+}

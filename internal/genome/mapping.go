@@ -1,0 +1,188 @@
+// Package genome implements the paper's benchmark scenario (Section 5): a
+// loose simulation of the UCSC Genome Browser data import process. The
+// source schemas mimic the UCSC gene-model tables plus RefSeq, EntrezGene
+// and UniProt; the hand-written mapping populates the Genome Browser target
+// schema (knownGene, kgXref, refLink, knownToLocusLink, knownIsoforms) and
+// applies key constraints per industry practice.
+//
+// Real dumps of the external databases are not redistributable here, so a
+// deterministic generator synthesizes instances with the same join topology
+// and the paper's two inconsistency channels (Figure 2):
+//
+//	(A) UCSC and RefSeq disagree on a transcript's exon count;
+//	(B) RefSeq and EntrezGene list different gene symbols.
+//
+// Cluster ids in knownIsoforms are existential (labeled nulls) and the
+// clustering egds equate nulls — the weakly-acyclic differentiator the
+// paper highlights.
+package genome
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// MappingText is the benchmark schema mapping in the textual format of
+// internal/parser.
+const MappingText = `
+# ---------- Source schema: UCSC gene model (given, not computed) ----------
+source ComputedAlignments(kgID, chrom, strand, txStart, txEnd, cdsStart, cdsEnd, exonCount, exonStarts, exonEnds, alignID).
+source ComputedCrossref(kgID, refseqAcc, protAcc).
+
+# ---------- Source schema: RefSeq flat files (five relations) ----------
+source RefSeqTranscript(acc, exonCount, product).
+source RefSeqSource(acc, organism, tissue).
+source RefSeqReference(acc, pmid, firstAuthor).
+source RefSeqGene(acc, geneSymbol, entrezID).
+source RefSeqProtein(acc, protAcc, protName).
+
+# ---------- Source schema: EntrezGene and UniProt ----------
+source EntrezGene(entrezID, symbol, description).
+source UniProt(protAcc, displayID, organism).
+
+# ---------- Target schema: UCSC Genome Browser ----------
+target knownGene(name, chrom, strand, txStart, txEnd, cdsStart, cdsEnd, exonCount, exonStarts, exonEnds, protAcc, alignID).
+target kgXref(kgID, mRNA, spID, spDisplayID, geneSymbol, refseq, protAcc, description, rfamAcc, tRnaName).
+target refLink(name, product, mrnaAcc, protAcc, geneName, prodName, locusLinkId, omimId).
+target knownToLocusLink(kgID, locusLinkId).
+target knownIsoforms(clusterId, transcript).
+target kgSpAlias(kgID, alias).
+
+# ---------- knownGene: exon counts from UCSC and from RefSeq (Figure 2A) ----------
+tgd kg_ucsc:
+  ComputedAlignments(kg, ch, sd, txs, txe, cs, ce, exc, exs, exe, aid) &
+  ComputedCrossref(kg, rs, pa)
+  -> knownGene(kg, ch, sd, txs, txe, cs, ce, exc, exs, exe, pa, aid).
+
+tgd kg_refseq:
+  ComputedAlignments(kg, ch, sd, txs, txe, cs, ce, exc0, exs, exe, aid) &
+  ComputedCrossref(kg, rs, pa) &
+  RefSeqTranscript(rs, exc, prod)
+  -> knownGene(kg, ch, sd, txs, txe, cs, ce, exc, exs, exe, pa, aid).
+
+# ---------- kgXref: gene symbols from RefSeq and from EntrezGene (Figure 2B) ----------
+tgd xref_refseq:
+  ComputedCrossref(kg, rs, pa) &
+  RefSeqGene(rs, sym, ez) &
+  RefSeqTranscript(rs, exc, prod)
+  -> kgXref(kg, rs, pa, spd, sym, rs, pa, prod, 'NA', 'NA').
+
+tgd xref_entrez:
+  ComputedCrossref(kg, rs, pa) &
+  RefSeqGene(rs, sym0, ez) &
+  EntrezGene(ez, sym, desc) &
+  RefSeqTranscript(rs, exc, prod)
+  -> kgXref(kg, rs, pa, spd, sym, rs, pa, prod, 'NA', 'NA').
+
+tgd xref_uniprot:
+  ComputedCrossref(kg, rs, pa) &
+  RefSeqGene(rs, sym, ez) &
+  RefSeqTranscript(rs, exc, prod) &
+  UniProt(pa, spdisp, org)
+  -> kgXref(kg, rs, pa, spdisp, sym, rs, pa, prod, 'NA', 'NA').
+
+# ---------- refLink from the RefSeq relations ----------
+tgd reflink:
+  RefSeqTranscript(rs, exc, prod) &
+  RefSeqGene(rs, sym, ez) &
+  RefSeqProtein(rs, pa, pname)
+  -> refLink(sym, prod, rs, pa, sym, pname, ez, om).
+
+# ---------- knownToLocusLink ----------
+tgd ktll:
+  ComputedCrossref(kg, rs, pa) &
+  RefSeqGene(rs, sym, ez)
+  -> knownToLocusLink(kg, ez).
+
+# ---------- kgSpAlias: a target tgd deriving protein aliases from kgXref ----------
+tgd alias_sp:
+  kgXref(kg, m, s, spd, sym, rs, pa, de, rf, tn)
+  -> kgSpAlias(kg, s).
+
+tgd alias_display:
+  kgXref(kg, m, s, spd, sym, rs, pa, de, rf, tn)
+  -> kgSpAlias(kg, spd).
+
+# ---------- knownIsoforms: every transcript gets an existential cluster ----------
+tgd iso:
+  ComputedCrossref(kg, rs, pa)
+  -> knownIsoforms(c, kg).
+
+# ---------- Key constraints (Figure 2A/2B conflict channels) ----------
+egd kg_key_exons:
+  knownGene(kg, ch, sd, txs, txe, cs, ce, e1, exs, exe, pa, aid) &
+  knownGene(kg, ch2, sd2, txs2, txe2, cs2, ce2, e2, exs2, exe2, pa2, aid2)
+  -> e1 = e2.
+
+egd kg_key_prot:
+  knownGene(kg, ch, sd, txs, txe, cs, ce, e1, exs, exe, p1, aid) &
+  knownGene(kg, ch2, sd2, txs2, txe2, cs2, ce2, e2, exs2, exe2, p2, aid2)
+  -> p1 = p2.
+
+egd xref_key_symbol:
+  kgXref(kg, m1, s1, d1, sym1, r1, p1, de1, rf1, tn1) &
+  kgXref(kg, m2, s2, d2, sym2, r2, p2, de2, rf2, tn2)
+  -> sym1 = sym2.
+
+egd xref_key_spdisplay:
+  kgXref(kg, m1, s1, d1, sym1, r1, p1, de1, rf1, tn1) &
+  kgXref(kg, m2, s2, d2, sym2, r2, p2, de2, rf2, tn2)
+  -> d1 = d2.
+
+egd reflink_key_product:
+  refLink(n1, pr1, rs, pa1, g1, pn1, ez1, om1) &
+  refLink(n2, pr2, rs, pa2, g2, pn2, ez2, om2)
+  -> pr1 = pr2.
+
+egd ktll_key:
+  knownToLocusLink(kg, e1) & knownToLocusLink(kg, e2) -> e1 = e2.
+
+# ---------- Clustering (Figure 2C): equalities between nulls ----------
+egd iso_key:
+  knownIsoforms(c1, kg) & knownIsoforms(c2, kg) -> c1 = c2.
+
+egd iso_by_entrez:
+  knownIsoforms(c1, kg1) & knownIsoforms(c2, kg2) &
+  knownToLocusLink(kg1, ez) & knownToLocusLink(kg2, ez)
+  -> c1 = c2.
+
+egd iso_by_symbol:
+  knownIsoforms(c1, kg1) & knownIsoforms(c2, kg2) &
+  kgXref(kg1, m1, s1, d1, sym, r1, p1, de1, rf1, tn1) &
+  kgXref(kg2, m2, s2, d2, sym, r2, p2, de2, rf2, tn2)
+  -> c1 = c2.
+`
+
+// QueriesText is the Table 3 query suite, verbatim from the paper.
+const QueriesText = `
+ep1() :- refLink(symbol, _, acc, protacc, _, _, _, _), kgXref(ucscid, _, spid, _, symbol, _, _, _, _, _).
+ep2(protacc) :- refLink(symbol, _, acc, protacc, _, _, _, _), kgXref(ucscid, _, spid, _, symbol, _, _, _, _, _).
+ep3(protacc, spid) :- refLink(symbol, _, acc, protacc, _, _, _, _), kgXref(ucscid, _, spid, _, symbol, _, _, _, _, _).
+ep15(symbol) :- kgXref(ucscid, _, _, _, symbol, refseq, _, _, _, _), refLink(_, product, refseq, _, _, _, entrez, _).
+ep16(symbol, entrez) :- kgXref(ucscid, _, _, _, symbol, refseq, _, _, _, _), refLink(_, product, refseq, _, _, _, entrez, _).
+xr1() :- knownGene(kgid, ch, sd, txs, txe, cs, ce, exc, exs, exe, pac, alignid).
+xr2(kgid) :- knownGene(kgid, ch, sd, txs, txe, cs, ce, exc, exs, exe, pac, alignid).
+xr3(kgid, ch, sd, txs, txe, cs, ce, exc, exs, exe, pac, ai) :- knownGene(kgid, ch, sd, txs, txe, cs, ce, exc, exs, exe, pac, ai).
+xr4() :- knownIsoforms(cluster, transcript1), knownIsoforms(cluster, transcript2).
+xr5(transcript1) :- knownIsoforms(cluster, transcript1), knownIsoforms(cluster, transcript2).
+xr6(transcript1, transcript2) :- knownIsoforms(cluster, transcript1), knownIsoforms(cluster, transcript2).
+`
+
+// NewWorld parses the benchmark mapping.
+func NewWorld() (*parser.World, error) {
+	w, err := parser.ParseMapping(MappingText)
+	if err != nil {
+		return nil, fmt.Errorf("genome: parsing mapping: %w", err)
+	}
+	if !w.M.IsWeaklyAcyclic() {
+		return nil, fmt.Errorf("genome: mapping is not weakly acyclic")
+	}
+	return w, nil
+}
+
+// Queries parses the Table 3 query suite against the world.
+func Queries(w *parser.World) ([]*logic.UCQ, error) {
+	return parser.ParseQueries(QueriesText, w)
+}

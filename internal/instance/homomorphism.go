@@ -1,0 +1,97 @@
+package instance
+
+import (
+	"repro/internal/symtab"
+)
+
+// Homomorphism searches for a homomorphism from src to dst: a map h on the
+// active domain of src with h(c) = c for constants, such that the h-image of
+// every fact of src is a fact of dst. It returns the null assignment and
+// whether one exists.
+//
+// This is the textbook exponential backtracking search; it is used for
+// verifying universal solutions in tests and for small instances only.
+func Homomorphism(src, dst *Instance) (map[symtab.Value]symtab.Value, bool) {
+	facts := src.Facts()
+	h := make(map[symtab.Value]symtab.Value)
+	if solveHom(facts, 0, dst, h) {
+		return h, true
+	}
+	return nil, false
+}
+
+func solveHom(facts []Fact, i int, dst *Instance, h map[symtab.Value]symtab.Value) bool {
+	if i == len(facts) {
+		return true
+	}
+	f := facts[i]
+	// Build the match pattern from already-bound values.
+	pattern := make([]symtab.Value, len(f.Args))
+	freeNulls := false
+	for j, a := range f.Args {
+		switch {
+		case a.IsConst():
+			pattern[j] = a
+		case a.IsNull():
+			if img, ok := h[a]; ok {
+				pattern[j] = img
+			} else {
+				pattern[j] = symtab.None
+				freeNulls = true
+			}
+		default:
+			pattern[j] = symtab.None
+		}
+	}
+	if !freeNulls {
+		if dst.Contains(f.Rel, pattern) {
+			return solveHom(facts, i+1, dst, h)
+		}
+		return false
+	}
+	for _, t := range dst.Match(f.Rel, pattern) {
+		// Tentatively bind the unbound nulls of f to the tuple values,
+		// respecting repeated nulls within the fact.
+		bound := make([]symtab.Value, 0, len(f.Args))
+		consistent := true
+		for j, a := range f.Args {
+			if !a.IsNull() {
+				continue
+			}
+			if img, ok := h[a]; ok {
+				if img != t[j] {
+					consistent = false
+					break
+				}
+				continue
+			}
+			h[a] = t[j]
+			bound = append(bound, a)
+		}
+		if consistent && solveHom(facts, i+1, dst, h) {
+			return true
+		}
+		for _, a := range bound {
+			delete(h, a)
+		}
+	}
+	return false
+}
+
+// ApplyValueMap returns a copy of in with every value v replaced by m[v]
+// when m has a binding for v. Facts that collide after replacement merge.
+func ApplyValueMap(in *Instance, m map[symtab.Value]symtab.Value) *Instance {
+	out := New(in.Catalog())
+	for _, f := range in.Facts() {
+		args := make([]symtab.Value, len(f.Args))
+		for i, a := range f.Args {
+			if img, ok := m[a]; ok {
+				args[i] = img
+			} else {
+				args[i] = a
+			}
+		}
+		out.Add(f.Rel, args)
+	}
+	return out
+}

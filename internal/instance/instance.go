@@ -1,0 +1,363 @@
+// Package instance implements database instances as finite sets of facts
+// over a schema.Catalog, with hash indexes to support conjunctive query
+// evaluation and the chase.
+//
+// Following the paper, an instance's active domain may contain constants and
+// labeled nulls (source instances are assumed null-free; target instances
+// produced by the chase may contain nulls).
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/symtab"
+)
+
+// Fact is a single fact R(a1, ..., ak).
+type Fact struct {
+	Rel  schema.RelID
+	Args []symtab.Value
+}
+
+// Key returns a canonical map key for the fact.
+func (f Fact) Key() string {
+	var b strings.Builder
+	b.Grow(4 * (len(f.Args) + 1))
+	writeVal(&b, symtab.Value(f.Rel))
+	for _, a := range f.Args {
+		writeVal(&b, a)
+	}
+	return b.String()
+}
+
+func writeVal(b *strings.Builder, v symtab.Value) {
+	b.WriteByte(byte(v))
+	b.WriteByte(byte(v >> 8))
+	b.WriteByte(byte(v >> 16))
+	b.WriteByte(byte(v >> 24))
+}
+
+// EncodeTuple returns a canonical map key for a tuple of values.
+func EncodeTuple(args []symtab.Value) string {
+	var b strings.Builder
+	b.Grow(4 * len(args))
+	for _, a := range args {
+		writeVal(&b, a)
+	}
+	return b.String()
+}
+
+// String renders the fact using the universe for value names.
+func (f Fact) String(cat *schema.Catalog, u *symtab.Universe) string {
+	return fmt.Sprintf("%s(%s)", cat.ByID(f.Rel).Name, strings.Join(u.Names(f.Args), ","))
+}
+
+// HasNull reports whether any argument of f is a labeled null.
+func (f Fact) HasNull() bool {
+	for _, a := range f.Args {
+		if a.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// relation stores the tuples of one relation plus lazily built column indexes.
+type relation struct {
+	tuples map[string][]symtab.Value
+	// idx[col] maps a value to the tuples having that value in column col.
+	// Indexes are dropped on mutation and rebuilt on demand.
+	idx map[int]map[symtab.Value][][]symtab.Value
+}
+
+func newRelation() *relation {
+	return &relation{tuples: make(map[string][]symtab.Value)}
+}
+
+func (r *relation) invalidate() { r.idx = nil }
+
+func (r *relation) index(col int) map[symtab.Value][][]symtab.Value {
+	if r.idx == nil {
+		r.idx = make(map[int]map[symtab.Value][][]symtab.Value)
+	}
+	if m, ok := r.idx[col]; ok {
+		return m
+	}
+	m := make(map[symtab.Value][][]symtab.Value)
+	for _, tup := range r.tuples {
+		v := tup[col]
+		m[v] = append(m[v], tup)
+	}
+	r.idx[col] = m
+	return m
+}
+
+// Instance is a mutable set of facts. The zero value is not usable; call New.
+type Instance struct {
+	cat  *schema.Catalog
+	rels map[schema.RelID]*relation
+	size int
+}
+
+// New returns an empty instance over the given catalog.
+func New(cat *schema.Catalog) *Instance {
+	return &Instance{cat: cat, rels: make(map[schema.RelID]*relation)}
+}
+
+// Catalog returns the catalog the instance is over.
+func (in *Instance) Catalog() *schema.Catalog { return in.cat }
+
+// Len returns the number of facts.
+func (in *Instance) Len() int { return in.size }
+
+// LenOf returns the number of facts of one relation.
+func (in *Instance) LenOf(rel schema.RelID) int {
+	r, ok := in.rels[rel]
+	if !ok {
+		return 0
+	}
+	return len(r.tuples)
+}
+
+// Add inserts a fact and reports whether it was newly added.
+// The argument slice is retained; callers must not mutate it afterwards.
+func (in *Instance) Add(rel schema.RelID, args []symtab.Value) bool {
+	if want := in.cat.ByID(rel).Arity; len(args) != want {
+		panic(fmt.Sprintf("instance: %s expects %d args, got %d", in.cat.ByID(rel).Name, want, len(args)))
+	}
+	r, ok := in.rels[rel]
+	if !ok {
+		r = newRelation()
+		in.rels[rel] = r
+	}
+	k := EncodeTuple(args)
+	if _, dup := r.tuples[k]; dup {
+		return false
+	}
+	r.tuples[k] = args
+	r.invalidate()
+	in.size++
+	return true
+}
+
+// AddFact inserts f; see Add.
+func (in *Instance) AddFact(f Fact) bool { return in.Add(f.Rel, f.Args) }
+
+// Remove deletes a fact and reports whether it was present.
+func (in *Instance) Remove(rel schema.RelID, args []symtab.Value) bool {
+	r, ok := in.rels[rel]
+	if !ok {
+		return false
+	}
+	k := EncodeTuple(args)
+	if _, present := r.tuples[k]; !present {
+		return false
+	}
+	delete(r.tuples, k)
+	r.invalidate()
+	in.size--
+	return true
+}
+
+// RemoveFact deletes f; see Remove.
+func (in *Instance) RemoveFact(f Fact) bool { return in.Remove(f.Rel, f.Args) }
+
+// Contains reports whether the fact is present.
+func (in *Instance) Contains(rel schema.RelID, args []symtab.Value) bool {
+	r, ok := in.rels[rel]
+	if !ok {
+		return false
+	}
+	_, present := r.tuples[EncodeTuple(args)]
+	return present
+}
+
+// ContainsFact reports whether f is present.
+func (in *Instance) ContainsFact(f Fact) bool { return in.Contains(f.Rel, f.Args) }
+
+// Tuples returns the tuples of one relation in unspecified order.
+// The returned slices are shared with the instance; do not mutate them.
+func (in *Instance) Tuples(rel schema.RelID) [][]symtab.Value {
+	r, ok := in.rels[rel]
+	if !ok {
+		return nil
+	}
+	out := make([][]symtab.Value, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Facts returns every fact in the instance, grouped by relation in ascending
+// relation order. Tuple order within a relation is unspecified.
+func (in *Instance) Facts() []Fact {
+	out := make([]Fact, 0, in.size)
+	for _, rel := range in.relIDs() {
+		for _, t := range in.rels[rel].tuples {
+			out = append(out, Fact{Rel: rel, Args: t})
+		}
+	}
+	return out
+}
+
+// Relations returns the IDs of relations with at least one fact, ascending.
+func (in *Instance) Relations() []schema.RelID { return in.relIDs() }
+
+func (in *Instance) relIDs() []schema.RelID {
+	ids := make([]schema.RelID, 0, len(in.rels))
+	for id, r := range in.rels {
+		if len(r.tuples) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Lookup returns the tuples of rel whose column col holds value v.
+// The result is index-backed; do not mutate the returned slices.
+func (in *Instance) Lookup(rel schema.RelID, col int, v symtab.Value) [][]symtab.Value {
+	r, ok := in.rels[rel]
+	if !ok {
+		return nil
+	}
+	return r.index(col)[v]
+}
+
+// Match returns the tuples of rel consistent with pattern, where
+// symtab.None entries are wildcards. It uses a column index when at least
+// one position is bound.
+func (in *Instance) Match(rel schema.RelID, pattern []symtab.Value) [][]symtab.Value {
+	r, ok := in.rels[rel]
+	if !ok {
+		return nil
+	}
+	bound := -1
+	for i, p := range pattern {
+		if p != symtab.None {
+			bound = i
+			break
+		}
+	}
+	var cands [][]symtab.Value
+	if bound < 0 {
+		cands = make([][]symtab.Value, 0, len(r.tuples))
+		for _, t := range r.tuples {
+			cands = append(cands, t)
+		}
+		return cands
+	}
+	var out [][]symtab.Value
+	for _, t := range r.index(bound)[pattern[bound]] {
+		ok := true
+		for i, p := range pattern {
+			if p != symtab.None && t[i] != p {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy: fact sets are copied, tuples are shared
+// (tuples are treated as immutable throughout the codebase).
+func (in *Instance) Clone() *Instance {
+	cp := New(in.cat)
+	for id, r := range in.rels {
+		nr := newRelation()
+		for k, t := range r.tuples {
+			nr.tuples[k] = t
+		}
+		cp.rels[id] = nr
+	}
+	cp.size = in.size
+	return cp
+}
+
+// Restrict returns the sub-instance containing only facts whose relation is
+// in s (the paper's "R'-restriction").
+func (in *Instance) Restrict(s *schema.Schema) *Instance {
+	out := New(in.cat)
+	for id, r := range in.rels {
+		if !s.Contains(id) {
+			continue
+		}
+		for _, t := range r.tuples {
+			out.Add(id, t)
+		}
+	}
+	return out
+}
+
+// AddAll inserts every fact of other and returns the number newly added.
+func (in *Instance) AddAll(other *Instance) int {
+	n := 0
+	for id, r := range other.rels {
+		for _, t := range r.tuples {
+			if in.Add(id, t) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SubInstanceOf reports whether every fact of in is a fact of other.
+func (in *Instance) SubInstanceOf(other *Instance) bool {
+	for id, r := range in.rels {
+		for _, t := range r.tuples {
+			if !other.Contains(id, t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether in and other contain exactly the same facts.
+func (in *Instance) Equal(other *Instance) bool {
+	return in.size == other.size && in.SubInstanceOf(other)
+}
+
+// ActiveDomain returns the set of values occurring in facts.
+func (in *Instance) ActiveDomain() map[symtab.Value]bool {
+	dom := make(map[symtab.Value]bool)
+	for _, r := range in.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				dom[v] = true
+			}
+		}
+	}
+	return dom
+}
+
+// Nulls returns the labeled nulls in the active domain.
+func (in *Instance) Nulls() []symtab.Value {
+	var out []symtab.Value
+	for v := range in.ActiveDomain() {
+		if v.IsNull() {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the instance sorted for stable test output.
+func (in *Instance) String(u *symtab.Universe) string {
+	lines := make([]string, 0, in.size)
+	for _, f := range in.Facts() {
+		lines = append(lines, f.String(in.cat, u))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

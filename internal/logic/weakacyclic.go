@@ -1,0 +1,169 @@
+package logic
+
+import (
+	"repro/internal/schema"
+)
+
+// position identifies (relation, argument index).
+type position struct {
+	rel schema.RelID
+	idx int
+}
+
+// depEdge is an edge of the position dependency graph.
+type depEdge struct {
+	to      position
+	special bool
+}
+
+// WeaklyAcyclic reports whether the given set of tgds is weakly acyclic,
+// per Fagin, Kolaitis, Miller, Popa (2005): build the position dependency
+// graph and check that no cycle passes through a special edge.
+//
+// For every tgd and every universally quantified variable x occurring in the
+// body at position p:
+//   - for every occurrence of x in the head at position q, add a regular
+//     edge p → q;
+//   - if x occurs in the head, then for every existentially quantified
+//     variable y occurring in the head at position q', add a special edge
+//     p → q'.
+func WeaklyAcyclic(tgds []*TGD) bool {
+	edges := make(map[position][]depEdge)
+	nodes := make(map[position]bool)
+
+	addEdge := func(from, to position, special bool) {
+		edges[from] = append(edges[from], depEdge{to: to, special: special})
+		nodes[from] = true
+		nodes[to] = true
+	}
+
+	for _, d := range tgds {
+		bodyPos := make(map[string][]position) // var -> body positions
+		for _, a := range d.Body {
+			for i, t := range a.Terms {
+				if t.IsVar() {
+					bodyPos[t.Var] = append(bodyPos[t.Var], position{a.Rel, i})
+				}
+			}
+		}
+		headPos := make(map[string][]position) // var -> head positions
+		for _, a := range d.Head {
+			for i, t := range a.Terms {
+				if t.IsVar() {
+					headPos[t.Var] = append(headPos[t.Var], position{a.Rel, i})
+				}
+			}
+		}
+		exist := make(map[string]bool)
+		for _, y := range d.ExistentialVars() {
+			exist[y] = true
+		}
+		for x, ps := range bodyPos {
+			hs, inHead := headPos[x]
+			if !inHead {
+				continue
+			}
+			for _, p := range ps {
+				for _, q := range hs {
+					addEdge(p, q, false)
+				}
+				for y, qs := range headPos {
+					if !exist[y] {
+						continue
+					}
+					for _, q := range qs {
+						addEdge(p, q, true)
+					}
+				}
+			}
+		}
+	}
+
+	// Tarjan SCC; weak acyclicity fails iff some special edge has both
+	// endpoints in the same strongly connected component.
+	comp := sccs(nodes, edges)
+	for from, es := range edges {
+		for _, e := range es {
+			if e.special && comp[from] == comp[e.to] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sccs computes strongly connected components (iterative Tarjan) and returns
+// a component id per node.
+func sccs(nodes map[position]bool, edges map[position][]depEdge) map[position]int {
+	index := make(map[position]int)
+	low := make(map[position]int)
+	onStack := make(map[position]bool)
+	comp := make(map[position]int)
+	var stack []position
+	next, ncomp := 0, 0
+
+	type frame struct {
+		node position
+		ei   int
+	}
+	for start := range nodes {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{node: start})
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			es := edges[f.node]
+			advanced := false
+			for f.ei < len(es) {
+				w := es[f.ei].to
+				f.ei++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{node: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && low[f.node] > index[w] {
+					low[f.node] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.node finished
+			v := f.node
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].node
+				if low[parent] > low[v] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}

@@ -1,0 +1,215 @@
+// Package parser reads the textual formats used by the command-line tools
+// and examples: schema mappings (source/target declarations, tgds, egds),
+// Datalog-style queries, and fact files.
+//
+// Conventions: relation names and variables are identifiers; constants are
+// quoted strings ('chr1' or "chr1") or bare numbers; `_` is an anonymous
+// variable (fresh at every occurrence); `#` starts a line comment.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // quoted constant
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokColon
+	tokArrow   // ->
+	tokRuleDef // :-
+	tokAmp     // &
+	tokEq      // =
+	tokUnder   // _
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokColon:
+		return "':'"
+	case tokArrow:
+		return "'->'"
+	case tokRuleDef:
+		return "':-'"
+	case tokAmp:
+		return "'&'"
+	case tokEq:
+		return "'='"
+	case tokUnder:
+		return "'_'"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.line
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == '&':
+		l.pos++
+		return token{tokAmp, "&", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokEq, "=", start}, nil
+	case c == '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return token{tokArrow, "->", start}, nil
+		}
+		// Negative number?
+		if l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1]) {
+			return l.number()
+		}
+		return token{}, l.errf("unexpected '-'")
+	case c == ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			l.pos += 2
+			return token{tokRuleDef, ":-", start}, nil
+		}
+		l.pos++
+		return token{tokColon, ":", start}, nil
+	case c == '\'' || c == '"':
+		return l.quoted(c)
+	case unicode.IsDigit(c):
+		return l.number()
+	case c == '_' && (l.pos+1 >= len(l.src) || !isIdentRune(l.src[l.pos+1])):
+		l.pos++
+		return token{tokUnder, "_", start}, nil
+	case isIdentStart(c):
+		j := l.pos
+		for j < len(l.src) && isIdentRune(l.src[j]) {
+			j++
+		}
+		text := string(l.src[l.pos:j])
+		l.pos = j
+		return token{tokIdent, text, start}, nil
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func (l *lexer) quoted(q rune) (token, error) {
+	start := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == q {
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		}
+		if c == '\n' {
+			return token{}, l.errf("unterminated string")
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		b.WriteRune(c)
+		l.pos++
+	}
+	return token{}, l.errf("unterminated string")
+}
+
+func (l *lexer) number() (token, error) {
+	start := l.line
+	j := l.pos
+	if l.src[j] == '-' {
+		j++
+	}
+	for j < len(l.src) && (unicode.IsDigit(l.src[j]) || l.src[j] == '.') {
+		// A trailing '.' is the statement terminator, not a decimal point,
+		// unless followed by a digit.
+		if l.src[j] == '.' && (j+1 >= len(l.src) || !unicode.IsDigit(l.src[j+1])) {
+			break
+		}
+		j++
+	}
+	text := string(l.src[l.pos:j])
+	l.pos = j
+	return token{tokNumber, text, start}, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-'
+}

@@ -1,0 +1,230 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+const sampleMapping = `
+# A small genome-flavoured mapping.
+source ComputedAlignments(acc, exonCount).
+source RefSeqData(acc, exonCount).
+target knownGene(name, exonCount).
+
+tgd ucsc: ComputedAlignments(a, e) -> knownGene(a, e).
+tgd refseq: RefSeqData(a, e) -> knownGene(a, e).
+egd key: knownGene(n, e1) & knownGene(n, e2) -> e1 = e2.
+`
+
+func TestParseMapping(t *testing.T) {
+	w, err := ParseMapping(sampleMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.M.Stats(); got.STTgds != 2 || got.TargetTgds != 0 || got.TargetEgds != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+	if w.M.ST[0].Label != "ucsc" || w.M.TEgds[0].Label != "key" {
+		t.Fatal("labels not parsed")
+	}
+	ca, ok := w.Cat.ByName("ComputedAlignments")
+	if !ok || ca.Arity != 2 || ca.Attrs[1] != "exonCount" {
+		t.Fatalf("relation decl wrong: %+v", ca)
+	}
+	if !w.M.IsGAV() || !w.M.IsWeaklyAcyclic() {
+		t.Fatal("classification wrong")
+	}
+}
+
+func TestParseMappingTargetTgdAndConstants(t *testing.T) {
+	w, err := ParseMapping(`
+source R(a).
+target S(a, b).
+target U(a).
+tgd R(x) -> S(x, z).
+tgd S(x, 'chr1') -> U(x).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.M.ST) != 1 || len(w.M.TTgds) != 1 {
+		t.Fatalf("st=%d tt=%d", len(w.M.ST), len(w.M.TTgds))
+	}
+	// The s-t tgd has an existential z.
+	if got := w.M.ST[0].ExistentialVars(); len(got) != 1 || got[0] != "z" {
+		t.Fatalf("existentials = %v", got)
+	}
+	// 'chr1' parsed as a constant.
+	body := w.M.TTgds[0].Body[0]
+	if body.Terms[1].IsVar() {
+		t.Fatal("'chr1' parsed as variable")
+	}
+	if v, _ := w.U.Lookup("chr1"); v != body.Terms[1].Val {
+		t.Fatal("constant not interned correctly")
+	}
+}
+
+func TestParseMappingErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undeclared relation", `source R(a). tgd Q(x) -> R(x).`},
+		{"arity mismatch", `source R(a). target S(a). tgd R(x, y) -> S(x).`},
+		{"mixed tgd", `source R(a). target S(a). tgd R(x) & S(x) -> S(x).`},
+		{"egd over source", `source R(a). target S(a). egd R(x) & R(y) -> x = y.`},
+		{"duplicate relation", `source R(a). source R(b).`},
+		{"unsafe egd", `target S(a, b). egd S(x, y) -> x = z.`},
+		{"bad keyword", `relation R(a).`},
+		{"unterminated string", "source R(a).\ntgd R('x) -> R(x)."},
+	}
+	for _, c := range cases {
+		if _, err := ParseMapping(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseQueries(t *testing.T) {
+	w, err := ParseMapping(sampleMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ParseQueries(`
+# paper-style suite
+query xr1() :- knownGene(kgid, exc).
+xr2(kgid) :- knownGene(kgid, exc).
+union2(x) :- knownGene(x, '1').
+union2(x) :- knownGene('fixed', x).
+`, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	if qs[0].Name != "xr1" || qs[0].Arity != 0 {
+		t.Fatalf("xr1 parsed wrong: %+v", qs[0])
+	}
+	if len(qs[2].Clauses) != 2 {
+		t.Fatalf("union clauses = %d", len(qs[2].Clauses))
+	}
+}
+
+func TestParseQueriesAnonymousVars(t *testing.T) {
+	w, _ := ParseMapping(sampleMapping)
+	qs, err := ParseQueries(`q(x) :- knownGene(x, _), knownGene(_, x).`, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := qs[0].Clauses[0]
+	// The two _ occurrences must be distinct variables.
+	if c.Body[0].Terms[1].Var == c.Body[1].Terms[0].Var {
+		t.Fatal("anonymous variables shared a name")
+	}
+}
+
+func TestParseQueriesErrors(t *testing.T) {
+	w, _ := ParseMapping(sampleMapping)
+	cases := []string{
+		`q(x) :- ComputedAlignments(x, y).`,                    // source relation in query
+		`q(z) :- knownGene(x, y).`,                             // unsafe head
+		`q(x) :- knownGene(x, y). q(x, y) :- knownGene(x, y).`, // arity clash
+	}
+	for _, src := range cases {
+		if _, err := ParseQueries(src, w); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseFactsRoundTrip(t *testing.T) {
+	w, err := ParseMapping(sampleMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ParseFacts(`
+ComputedAlignments('uc001aaa.3', 3).
+ComputedAlignments(uc010nxq, '23').
+RefSeqData('NM_000518', 3).
+`, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 3 {
+		t.Fatalf("facts = %d", in.Len())
+	}
+	ca, _ := w.Cat.ByName("ComputedAlignments")
+	acc, _ := w.U.Lookup("uc001aaa.3")
+	three, _ := w.U.Lookup("3")
+	if !in.Contains(ca.ID, []symtab.Value{acc, three}) {
+		t.Fatal("quoted fact missing")
+	}
+
+	text := FormatFacts(in, w.Cat, w.U)
+	back, err := ParseFacts(text, w)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, text)
+	}
+	if !back.Equal(in) {
+		t.Fatal("round trip changed the instance")
+	}
+}
+
+func TestParseFactsErrors(t *testing.T) {
+	w, _ := ParseMapping(sampleMapping)
+	for _, src := range []string{
+		`Nope('a').`,
+		`ComputedAlignments('a').`,
+		`ComputedAlignments('a', 'b', 'c').`,
+		`ComputedAlignments('a' 'b').`,
+	} {
+		if _, err := ParseFacts(src, w); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	// Numbers with decimal points, negative numbers, comments, both quote
+	// styles, escapes.
+	w, err := ParseMapping(`
+source R(a).
+target S(a).
+tgd R(x) -> S(x).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ParseFacts(`
+R(3.14). # pi
+R(-42).
+R("double\"quoted").
+`, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 3 {
+		t.Fatalf("facts = %d", in.Len())
+	}
+	if _, ok := w.U.Lookup(`double"quoted`); !ok {
+		t.Fatal("escape not handled")
+	}
+	if _, ok := w.U.Lookup("3.14"); !ok {
+		t.Fatal("decimal number not lexed")
+	}
+	if _, ok := w.U.Lookup("-42"); !ok {
+		t.Fatal("negative number not lexed")
+	}
+}
+
+func TestQueryStringRendering(t *testing.T) {
+	w, _ := ParseMapping(sampleMapping)
+	qs, err := ParseQueries(`q(x) :- knownGene(x, y).`, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := qs[0].String(w.Cat, w.U)
+	if !strings.Contains(s, "q(x) :- knownGene(x,y)") {
+		t.Fatalf("rendered: %s", s)
+	}
+}

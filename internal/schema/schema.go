@@ -1,0 +1,126 @@
+// Package schema defines relation symbols and schemas (finite sets of
+// relation symbols, each with a designated arity), following the paper's
+// preliminaries. Source and target schemas of a mapping are disjoint
+// sub-schemas of one shared Catalog so that relation identifiers are unique
+// across both.
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RelID identifies a relation symbol within a Catalog. IDs are dense and
+// start at 0, so they index slices directly.
+type RelID int32
+
+// Relation is a relation symbol: a name, an arity, and optional attribute
+// names (used only for display; semantics are positional).
+type Relation struct {
+	ID    RelID
+	Name  string
+	Arity int
+	Attrs []string // len == Arity when present; nil otherwise
+}
+
+// Catalog owns every relation symbol in play: source relations, target
+// relations, and any auxiliary relations introduced by reductions.
+// The zero value is not usable; call NewCatalog.
+type Catalog struct {
+	rels   []*Relation
+	byName map[string]*Relation
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]*Relation)}
+}
+
+// Add declares a new relation symbol. It returns an error if the name is
+// already declared (with any arity) or the arity is negative.
+func (c *Catalog) Add(name string, arity int, attrs ...string) (*Relation, error) {
+	if arity < 0 {
+		return nil, fmt.Errorf("schema: relation %s has negative arity %d", name, arity)
+	}
+	if _, ok := c.byName[name]; ok {
+		return nil, fmt.Errorf("schema: relation %s already declared", name)
+	}
+	if len(attrs) > 0 && len(attrs) != arity {
+		return nil, fmt.Errorf("schema: relation %s has %d attribute names for arity %d", name, len(attrs), arity)
+	}
+	r := &Relation{ID: RelID(len(c.rels)), Name: name, Arity: arity, Attrs: attrs}
+	c.rels = append(c.rels, r)
+	c.byName[name] = r
+	return r, nil
+}
+
+// MustAdd is Add but panics on error; intended for static setup code.
+func (c *Catalog) MustAdd(name string, arity int, attrs ...string) *Relation {
+	r, err := c.Add(name, arity, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ByName returns the relation with the given name, if declared.
+func (c *Catalog) ByName(name string) (*Relation, bool) {
+	r, ok := c.byName[name]
+	return r, ok
+}
+
+// ByID returns the relation with the given ID. It panics on an ID not issued
+// by this catalog.
+func (c *Catalog) ByID(id RelID) *Relation {
+	return c.rels[id]
+}
+
+// Len returns the number of declared relations.
+func (c *Catalog) Len() int { return len(c.rels) }
+
+// Relations returns all declared relations in declaration order.
+// The returned slice must not be modified.
+func (c *Catalog) Relations() []*Relation { return c.rels }
+
+// Schema is a set of relation symbols drawn from one Catalog.
+type Schema struct {
+	ids map[RelID]bool
+}
+
+// NewSchema returns a schema containing the given relations.
+func NewSchema(rels ...*Relation) *Schema {
+	s := &Schema{ids: make(map[RelID]bool, len(rels))}
+	for _, r := range rels {
+		s.ids[r.ID] = true
+	}
+	return s
+}
+
+// Add inserts a relation into the schema.
+func (s *Schema) Add(r *Relation) { s.ids[r.ID] = true }
+
+// Contains reports whether the schema contains the relation with the given ID.
+func (s *Schema) Contains(id RelID) bool { return s.ids[id] }
+
+// Len returns the number of relations in the schema.
+func (s *Schema) Len() int { return len(s.ids) }
+
+// IDs returns the relation IDs in the schema in ascending order.
+func (s *Schema) IDs() []RelID {
+	out := make([]RelID, 0, len(s.ids))
+	for id := range s.ids {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Disjoint reports whether s and t share no relations.
+func (s *Schema) Disjoint(t *Schema) bool {
+	for id := range s.ids {
+		if t.ids[id] {
+			return false
+		}
+	}
+	return true
+}

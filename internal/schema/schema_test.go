@@ -1,0 +1,81 @@
+package schema
+
+import "testing"
+
+func TestCatalogAdd(t *testing.T) {
+	c := NewCatalog()
+	r, err := c.Add("Person", 2, "id", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "Person" || r.Arity != 2 || r.ID != 0 {
+		t.Fatalf("unexpected relation %+v", r)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	got, ok := c.ByName("Person")
+	if !ok || got != r {
+		t.Fatal("ByName lookup failed")
+	}
+	if c.ByID(r.ID) != r {
+		t.Fatal("ByID lookup failed")
+	}
+}
+
+func TestCatalogDuplicateName(t *testing.T) {
+	c := NewCatalog()
+	c.MustAdd("R", 1)
+	if _, err := c.Add("R", 2); err == nil {
+		t.Fatal("duplicate declaration accepted")
+	}
+}
+
+func TestCatalogBadArity(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.Add("R", -1); err == nil {
+		t.Fatal("negative arity accepted")
+	}
+	if _, err := c.Add("S", 2, "only-one"); err == nil {
+		t.Fatal("attribute count mismatch accepted")
+	}
+}
+
+func TestSchemaMembership(t *testing.T) {
+	c := NewCatalog()
+	r := c.MustAdd("R", 1)
+	s := c.MustAdd("S", 1)
+	u := c.MustAdd("U", 1)
+
+	src := NewSchema(r, s)
+	tgt := NewSchema(u)
+
+	if !src.Contains(r.ID) || !src.Contains(s.ID) || src.Contains(u.ID) {
+		t.Fatal("membership wrong")
+	}
+	if !src.Disjoint(tgt) {
+		t.Fatal("disjoint schemas reported as overlapping")
+	}
+	tgt.Add(r)
+	if src.Disjoint(tgt) {
+		t.Fatal("overlapping schemas reported disjoint")
+	}
+	if src.Len() != 2 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+	ids := src.IDs()
+	if len(ids) != 2 || ids[0] != r.ID || ids[1] != s.ID {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	c := NewCatalog()
+	c.MustAdd("R", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd on duplicate did not panic")
+		}
+	}()
+	c.MustAdd("R", 1)
+}

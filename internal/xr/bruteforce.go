@@ -1,0 +1,139 @@
+package xr
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/mapping"
+)
+
+// maxBruteForceFacts bounds the exponential repair enumeration.
+const maxBruteForceFacts = 22
+
+// SourceRepairs enumerates every source repair of src w.r.t. m
+// (Definition 1): the maximal sub-instances that have a solution. It is
+// exponential in |src| and intended as a reference implementation for small
+// instances; it refuses instances larger than 22 facts.
+func SourceRepairs(m *mapping.Mapping, src *instance.Instance) ([]*instance.Instance, error) {
+	facts := src.Facts()
+	n := len(facts)
+	if n > maxBruteForceFacts {
+		return nil, fmt.Errorf("xr: brute force limited to %d source facts, got %d", maxBruteForceFacts, n)
+	}
+	// Consistency is downward closed, so the repairs are the maximal
+	// consistent subsets.
+	consistent := make(map[uint32]bool)
+	isConsistent := func(bits uint32) bool {
+		if v, ok := consistent[bits]; ok {
+			return v
+		}
+		sub := instance.New(src.Catalog())
+		for i := 0; i < n; i++ {
+			if bits&(1<<i) != 0 {
+				sub.AddFact(facts[i])
+			}
+		}
+		v := chase.HasSolution(m, sub)
+		consistent[bits] = v
+		return v
+	}
+	var repairs []*instance.Instance
+	for bits := uint32(0); bits < 1<<n; bits++ {
+		if !isConsistent(bits) {
+			continue
+		}
+		maximal := true
+		for i := 0; i < n; i++ {
+			if bits&(1<<i) == 0 && isConsistent(bits|1<<i) {
+				maximal = false
+				break
+			}
+		}
+		if !maximal {
+			continue
+		}
+		sub := instance.New(src.Catalog())
+		for i := 0; i < n; i++ {
+			if bits&(1<<i) != 0 {
+				sub.AddFact(facts[i])
+			}
+		}
+		repairs = append(repairs, sub)
+	}
+	return repairs, nil
+}
+
+// BruteForce computes XR-Certain answers by explicit repair enumeration:
+//
+//	XR-Certain(q, I, M) = ⋂ { q↓(chase(I', M)) : I' a source repair of I }.
+//
+// It uses the native GLAV chase and no reduction or solver, making it an
+// independent oracle for validating the monolithic and segmentary
+// pipelines on small instances.
+func BruteForce(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ) ([]*Result, error) {
+	repairs, err := SourceRepairs(m, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(repairs) == 0 {
+		return nil, fmt.Errorf("xr: internal error: no source repairs (the empty instance is always consistent)")
+	}
+	solutions := make([]*instance.Instance, len(repairs))
+	for i, rep := range repairs {
+		j, err := chase.Native(m, rep)
+		if err != nil {
+			return nil, fmt.Errorf("xr: repair has no solution: %w", err)
+		}
+		solutions[i] = j
+	}
+	results := make([]*Result, len(queries))
+	for qi, q := range queries {
+		var ans *cq.AnswerSet
+		for _, j := range solutions {
+			a := cq.EvalUCQ(q, j).WithoutNulls()
+			if ans == nil {
+				ans = a
+			} else {
+				ans.Intersect(a)
+			}
+		}
+		results[qi] = &Result{Query: q, Answers: ans}
+	}
+	return results, nil
+}
+
+// BruteForcePossible computes XR-Possible answers by explicit repair
+// enumeration:
+//
+//	XR-Possible(q, I, M) = ⋃ { q↓(chase(I', M)) : I' a source repair of I }.
+//
+// Like BruteForce, it serves as an independent oracle for the brave
+// reasoning path of the segmentary pipeline.
+func BruteForcePossible(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ) ([]*Result, error) {
+	repairs, err := SourceRepairs(m, src)
+	if err != nil {
+		return nil, err
+	}
+	solutions := make([]*instance.Instance, len(repairs))
+	for i, rep := range repairs {
+		j, err := chase.Native(m, rep)
+		if err != nil {
+			return nil, fmt.Errorf("xr: repair has no solution: %w", err)
+		}
+		solutions[i] = j
+	}
+	results := make([]*Result, len(queries))
+	for qi, q := range queries {
+		ans := cq.NewAnswerSet()
+		for _, j := range solutions {
+			for _, t := range cq.EvalUCQ(q, j).WithoutNulls().Tuples() {
+				ans.Add(t)
+			}
+		}
+		results[qi] = &Result{Query: q, Answers: ans}
+	}
+	return results, nil
+}

@@ -1,0 +1,148 @@
+package xr
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/asp"
+	"repro/internal/chase"
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/mapping"
+)
+
+// MonolithicOptions tunes the monolithic pipeline.
+type MonolithicOptions struct {
+	// Timeout bounds each query's solving time; zero means no limit.
+	// On timeout the query's Result carries ErrTimeout.
+	Timeout time.Duration
+}
+
+// ErrTimeout is reported for queries that exceeded MonolithicOptions.Timeout.
+var ErrTimeout = fmt.Errorf("xr: query timed out")
+
+// Monolithic computes the XR-Certain answers of the queries using the
+// paper's Section 4/5.2 approach: per query, reduce the mapping to
+// gav+(gav, egd) (Theorem 1), build one disjunctive logic program whose
+// stable models are the canonical XR-solutions (Theorem 2), and compute
+// cautious answers (Corollary 1).
+//
+// As in the paper, the cost of the exchange (the chase) is embedded in
+// every individual query: the quasi-solution and grounding are recomputed
+// per query.
+func Monolithic(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ, opts MonolithicOptions) ([]*Result, error) {
+	red, rqs, err := prepare(m, queries)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(queries))
+	for i, q := range queries {
+		start := time.Now()
+		res, err := monolithicOne(red.M, src, rqs[i], opts)
+		if err != nil && err != ErrTimeout {
+			return nil, fmt.Errorf("xr: query %s: %w", q.Name, err)
+		}
+		res.Query = q
+		res.Err = err
+		res.Stats.Duration = time.Since(start)
+		results[i] = res
+	}
+	return results, nil
+}
+
+func monolithicOne(gm *mapping.Mapping, src *instance.Instance, rq *logic.UCQ, opts MonolithicOptions) (*Result, error) {
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	res := &Result{Answers: cq.NewAnswerSet()}
+	if len(rq.Clauses) == 0 {
+		return res, nil
+	}
+	// Exchange embedded in the query: chase now.
+	prov, err := chase.GAV(gm, src)
+	if err != nil {
+		return nil, err
+	}
+	return solveProgram(prov, rq, func(chase.FactID) factState { return factVar }, res, deadline)
+}
+
+// solveProgram grounds the Figure 1 program over the given universe, adds
+// the query candidates, and runs cautious reasoning.
+func solveProgram(prov *chase.Provenance, rq *logic.UCQ, state func(chase.FactID) factState, res *Result, deadline time.Time) (*Result, error) {
+	cands := collectCandidates(rq, prov)
+	res.Stats.Candidates += len(cands)
+	if len(cands) == 0 {
+		return res, nil
+	}
+	enc := newEncoder(prov, state)
+	enc.build()
+	atoms := make([]asp.AtomID, 0, len(cands))
+	live := make([]*candidate, 0, len(cands))
+	for _, c := range cands {
+		qa, any := enc.addCandidate(c)
+		if !any {
+			continue
+		}
+		atoms = append(atoms, qa)
+		live = append(live, c)
+	}
+	res.Stats.Programs++
+	res.Stats.GroundRules += len(enc.gp.Rules)
+	res.Stats.GroundAtoms += enc.gp.NumAtoms()
+
+	solver := asp.NewStableSolver(enc.gp)
+	solver.Acceptor = enc.maximalityAcceptor(solver)
+	kept, hasModel := cautiousWithDeadline(solver, atoms, deadline)
+	if kept == nil {
+		return res, ErrTimeout
+	}
+	if !hasModel {
+		return nil, fmt.Errorf("xr: internal error: program has no stable model (repairs always exist)")
+	}
+	keptSet := make(map[asp.AtomID]bool, len(kept))
+	for _, a := range kept {
+		keptSet[a] = true
+	}
+	for i, c := range live {
+		if keptSet[atoms[i]] {
+			res.Answers.Add(c.tuple)
+			res.Stats.SolverAccepted++
+		}
+	}
+	return res, nil
+}
+
+// cautiousWithDeadline runs Cautious; a zero deadline means no limit.
+// It returns (nil, false) on timeout, cancelling the solver cooperatively
+// so the worker goroutine releases the CPU promptly.
+func cautiousWithDeadline(s *asp.StableSolver, atoms []asp.AtomID, deadline time.Time) ([]asp.AtomID, bool) {
+	if deadline.IsZero() {
+		kept, has := s.Cautious(atoms)
+		return kept, has
+	}
+	var cancel atomic.Bool
+	s.SetCancel(&cancel)
+	type out struct {
+		kept []asp.AtomID
+		has  bool
+	}
+	ch := make(chan out, 1)
+	go func() {
+		kept, has := s.Cautious(atoms)
+		ch <- out{kept, has}
+	}()
+	select {
+	case o := <-ch:
+		if s.Canceled() {
+			return nil, false
+		}
+		return o.kept, o.has
+	case <-time.After(time.Until(deadline)):
+		cancel.Store(true)
+		<-ch // wait for the worker to observe the flag and exit
+		return nil, false
+	}
+}

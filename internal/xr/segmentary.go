@@ -1,0 +1,481 @@
+package xr
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/asp"
+	"repro/internal/chase"
+	"repro/internal/cq"
+	"repro/internal/gavreduce"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/mapping"
+)
+
+// Cluster is a violation cluster (Definition 8, approximated per
+// Propositions 5–6 by grouping violations with overlapping source repair
+// envelopes) together with its source envelope and influence.
+type Cluster struct {
+	Violations []int // indices into the provenance's violation list
+	// SourceEnvelope is the S-restriction of the union of the violations'
+	// support closures — a source repair envelope for the cluster
+	// (Proposition 6).
+	SourceEnvelope map[chase.FactID]bool
+	// Influence is influence(SourceEnvelope) (Definition 7): the target
+	// half of the cluster's exchange repair envelope (Proposition 4).
+	Influence map[chase.FactID]bool
+}
+
+// ExchangeStats records exchange-phase measurements (Table 4).
+type ExchangeStats struct {
+	SourceFacts    int
+	TotalFacts     int // source + derived (quasi-solution)
+	Violations     int
+	Clusters       int
+	SuspectSource  int // |I_suspect|
+	SafeDerivable  int // facts derivable from the safe part alone
+	ReduceDuration time.Duration
+	ChaseDuration  time.Duration
+	EnvDuration    time.Duration
+	Duration       time.Duration
+}
+
+// Exchange is the result of the query-independent exchange phase
+// (Section 6.5): the reduced mapping, the chased instance with provenance,
+// the suspect/safe split, and the violation clusters with influences.
+type Exchange struct {
+	Red  *gavreduce.Reduction
+	Prov *chase.Provenance
+
+	Clusters []*Cluster
+	// suspect marks the source facts in some violation's support closure
+	// (Definition 5); their union is the source repair envelope I_suspect
+	// (Proposition 3).
+	suspect map[chase.FactID]bool
+	// safeDerivable marks facts derivable without any suspect source fact;
+	// this is I_safe ∪ J_safe computed on the support hypergraph.
+	safeDerivable map[chase.FactID]bool
+	// clustersOf maps each fact to the (sorted) clusters whose influence
+	// contains it.
+	clustersOf map[chase.FactID][]int
+
+	Stats ExchangeStats
+}
+
+// NewExchange runs the exchange phase: reduce the mapping, chase with
+// provenance, compute violations, support closures, the suspect/safe split,
+// violation clusters, and cluster influences. All of this is
+// query-independent and polynomial (Propositions 3–6).
+func NewExchange(m *mapping.Mapping, src *instance.Instance) (*Exchange, error) {
+	start := time.Now()
+	red, err := gavreduce.Reduce(m)
+	if err != nil {
+		return nil, err
+	}
+	afterReduce := time.Now()
+	prov, err := chase.GAV(red.M, src)
+	if err != nil {
+		return nil, err
+	}
+	afterChase := time.Now()
+
+	ex := &Exchange{
+		Red:        red,
+		Prov:       prov,
+		suspect:    make(map[chase.FactID]bool),
+		clustersOf: make(map[chase.FactID][]int),
+	}
+
+	// Support closure per violation; cluster by overlapping source envelopes
+	// (disjoint envelopes are pairwise independent, Proposition 5).
+	type vioEnv struct {
+		srcEnv []chase.FactID
+	}
+	parent := make([]int, len(prov.Violations))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	envs := make([]vioEnv, len(prov.Violations))
+	owner := make(map[chase.FactID]int) // source fact -> first violation seen
+	for vi, v := range prov.Violations {
+		closure := prov.SupportClosure(v.Body)
+		var srcEnv []chase.FactID
+		for f := range closure {
+			if prov.IsSource(f) {
+				srcEnv = append(srcEnv, f)
+				ex.suspect[f] = true
+				if prev, ok := owner[f]; ok {
+					union(prev, vi)
+				} else {
+					owner[f] = vi
+				}
+			}
+		}
+		envs[vi] = vioEnv{srcEnv: srcEnv}
+	}
+
+	// Materialize clusters.
+	byRoot := make(map[int]*Cluster)
+	for vi := range prov.Violations {
+		root := find(vi)
+		c, ok := byRoot[root]
+		if !ok {
+			c = &Cluster{SourceEnvelope: make(map[chase.FactID]bool)}
+			byRoot[root] = c
+			ex.Clusters = append(ex.Clusters, c)
+		}
+		c.Violations = append(c.Violations, vi)
+		for _, f := range envs[vi].srcEnv {
+			c.SourceEnvelope[f] = true
+		}
+	}
+	sort.Slice(ex.Clusters, func(i, j int) bool {
+		return ex.Clusters[i].Violations[0] < ex.Clusters[j].Violations[0]
+	})
+	for ci, c := range ex.Clusters {
+		c.Influence = prov.Influence(c.SourceEnvelope)
+		for f := range c.Influence {
+			ex.clustersOf[f] = append(ex.clustersOf[f], ci)
+		}
+	}
+	for _, cs := range ex.clustersOf {
+		sort.Ints(cs)
+	}
+
+	ex.safeDerivable = prov.SafeDerivable(ex.suspect)
+
+	end := time.Now()
+	ex.Stats = ExchangeStats{
+		SourceFacts:    src.Len(),
+		TotalFacts:     prov.NumFacts(),
+		Violations:     len(prov.Violations),
+		Clusters:       len(ex.Clusters),
+		SuspectSource:  len(ex.suspect),
+		SafeDerivable:  len(ex.safeDerivable),
+		ReduceDuration: afterReduce.Sub(start),
+		ChaseDuration:  afterChase.Sub(afterReduce),
+		EnvDuration:    end.Sub(afterChase),
+		Duration:       end.Sub(start),
+	}
+	return ex, nil
+}
+
+// SuspectSourceFacts returns |I_suspect|.
+func (ex *Exchange) SuspectSourceFacts() int { return len(ex.suspect) }
+
+// IsSuspect reports whether a source fact is suspect (Definition 5).
+func (ex *Exchange) IsSuspect(f instance.Fact) bool {
+	id, ok := ex.Prov.FactIDOf(f)
+	return ok && ex.suspect[id]
+}
+
+// Consistent reports whether the source instance has a solution (no
+// violations at all).
+func (ex *Exchange) Consistent() bool { return len(ex.Prov.Violations) == 0 }
+
+// Answer computes the XR-Certain answers of one query using the segmentary
+// query phase (Section 6.4/6.5): candidates are computed from the
+// quasi-solution, safe candidates are accepted immediately, and the rest
+// are grouped by fact signature and decided by one small DLP per signature.
+func (ex *Exchange) Answer(q *logic.UCQ) (*Result, error) {
+	start := time.Now()
+	rq, err := ex.Red.RewriteQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q, Answers: cq.NewAnswerSet()}
+	defer func() { res.Stats.Duration = time.Since(start) }()
+
+	if len(rq.Clauses) == 0 {
+		return res, nil
+	}
+	cands := collectCandidates(rq, ex.Prov)
+	res.Stats.Candidates = len(cands)
+
+	// Partition candidates: safe-accepted vs signature groups.
+	groups := make(map[string]*sigGroup)
+	for _, c := range cands {
+		if ex.safeCandidate(c) {
+			res.Answers.Add(c.tuple)
+			res.Stats.SafeAccepted++
+			continue
+		}
+		key, sig := ex.signature(c)
+		g, ok := groups[key]
+		if !ok {
+			g = &sigGroup{sig: sig}
+			groups[key] = g
+		}
+		g.cands = append(g.cands, c)
+	}
+
+	// Solve one program per signature.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := ex.solveGroup(groups[k], res); err != nil {
+			return nil, fmt.Errorf("xr: query %s: %w", q.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// Possible computes the XR-Possible answers of one query: the tuples that
+// hold in at least one XR-solution (the union rather than the intersection
+// over exchange-repair solutions — the "possible answers" dual studied in
+// the inconsistency-tolerance literature). Certain answers are possible by
+// definition, so safe candidates are accepted outright; the remaining
+// candidates are decided by brave reasoning over the same per-signature
+// programs the certain-answer path uses.
+func (ex *Exchange) Possible(q *logic.UCQ) (*Result, error) {
+	start := time.Now()
+	rq, err := ex.Red.RewriteQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q, Answers: cq.NewAnswerSet()}
+	defer func() { res.Stats.Duration = time.Since(start) }()
+
+	if len(rq.Clauses) == 0 {
+		return res, nil
+	}
+	cands := collectCandidates(rq, ex.Prov)
+	res.Stats.Candidates = len(cands)
+
+	groups := make(map[string]*sigGroup)
+	for _, c := range cands {
+		if ex.safeCandidate(c) {
+			res.Answers.Add(c.tuple)
+			res.Stats.SafeAccepted++
+			continue
+		}
+		key, sig := ex.signature(c)
+		g, ok := groups[key]
+		if !ok {
+			g = &sigGroup{sig: sig}
+			groups[key] = g
+		}
+		g.cands = append(g.cands, c)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := ex.solveGroupBrave(groups[k], res); err != nil {
+			return nil, fmt.Errorf("xr: query %s: %w", q.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// solveGroupBrave mirrors solveGroup with brave instead of cautious
+// reasoning.
+func (ex *Exchange) solveGroupBrave(g *sigGroup, res *Result) error {
+	enc, solver, atoms, live := ex.prepareGroup(g)
+	res.Stats.Programs++
+	res.Stats.GroundRules += len(enc.gp.Rules)
+	res.Stats.GroundAtoms += enc.gp.NumAtoms()
+
+	kept, hasModel := solver.Brave(atoms)
+	if !hasModel {
+		return fmt.Errorf("internal error: signature program has no stable model")
+	}
+	keptSet := make(map[asp.AtomID]bool, len(kept))
+	for _, a := range kept {
+		keptSet[a] = true
+	}
+	for i, c := range live {
+		if keptSet[atoms[i]] {
+			res.Answers.Add(c.tuple)
+			res.Stats.SolverAccepted++
+		}
+	}
+	return nil
+}
+
+type sigGroup struct {
+	sig   []int
+	cands []*candidate
+}
+
+// safeCandidate reports whether some support set lies entirely in the safe
+// part (the candidate then appears in every XR-solution).
+func (ex *Exchange) safeCandidate(c *candidate) bool {
+	for _, set := range c.supports {
+		all := true
+		for _, f := range set {
+			if !ex.safeDerivable[f] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// signature returns the set of clusters whose influences contain the
+// candidate (Section 6.4), as a sorted id list and canonical key.
+func (ex *Exchange) signature(c *candidate) (string, []int) {
+	seen := make(map[int]bool)
+	var sig []int
+	for _, set := range c.supports {
+		for _, f := range set {
+			for _, ci := range ex.clustersOf[f] {
+				if !seen[ci] {
+					seen[ci] = true
+					sig = append(sig, ci)
+				}
+			}
+		}
+	}
+	sort.Ints(sig)
+	parts := make([]string, len(sig))
+	for i, ci := range sig {
+		parts[i] = itoa(ci)
+	}
+	return strings.Join(parts, ","), sig
+}
+
+// prepareGroup builds the signature program (the restriction of the
+// Theorem 2 grounding to the signature's focus, with safe facts pinned
+// true — Theorem 4), shared by the cautious and brave query paths.
+func (ex *Exchange) prepareGroup(g *sigGroup) (*encoder, *asp.StableSolver, []asp.AtomID, []*candidate) {
+	focus := make(map[chase.FactID]bool)
+	for _, ci := range g.sig {
+		for f := range ex.Clusters[ci].Influence {
+			focus[f] = true
+		}
+	}
+	state := func(f chase.FactID) factState {
+		switch {
+		case ex.safeDerivable[f]:
+			return factTrue
+		case focus[f]:
+			return factVar
+		default:
+			return factAbsent
+		}
+	}
+	enc := newEncoder(ex.Prov, state)
+	enc.buildFocused(focus)
+
+	atoms := make([]asp.AtomID, 0, len(g.cands))
+	live := make([]*candidate, 0, len(g.cands))
+	for _, c := range g.cands {
+		qa, any := enc.addCandidate(c)
+		if !any {
+			continue
+		}
+		atoms = append(atoms, qa)
+		live = append(live, c)
+	}
+	solver := asp.NewStableSolver(enc.gp)
+	solver.Acceptor = enc.maximalityAcceptor(solver)
+	return enc, solver, atoms, live
+}
+
+// solveGroup solves one signature program and accepts the cautious
+// candidates.
+func (ex *Exchange) solveGroup(g *sigGroup, res *Result) error {
+	enc, solver, atoms, live := ex.prepareGroup(g)
+	res.Stats.Programs++
+	res.Stats.GroundRules += len(enc.gp.Rules)
+	res.Stats.GroundAtoms += enc.gp.NumAtoms()
+	kept, hasModel := solver.Cautious(atoms)
+	if debugSolver {
+		fmt.Printf("[xr] group sig=%v cands=%d atoms=%d rules=%d tested=%d fails=%d loops=%d conflicts=%d props=%d\n",
+			g.sig, len(atoms), enc.gp.NumAtoms(), len(enc.gp.Rules),
+			solver.CandidatesTested, solver.StabilityFails, solver.LoopsLearned,
+			solver.SatConflicts(), solver.SatPropagations())
+	}
+	if !hasModel {
+		return fmt.Errorf("internal error: signature program has no stable model")
+	}
+	keptSet := make(map[asp.AtomID]bool, len(kept))
+	for _, a := range kept {
+		keptSet[a] = true
+	}
+	for i, c := range live {
+		if keptSet[atoms[i]] {
+			res.Answers.Add(c.tuple)
+			res.Stats.SolverAccepted++
+		}
+	}
+	return nil
+}
+
+// debugSolver enables per-signature solver diagnostics on stderr.
+var debugSolver = os.Getenv("XR_DEBUG_SOLVER") != ""
+
+// Repairs enumerates up to limit source repairs of the instance (0 = all)
+// using the solver, without the exponential subset scan of SourceRepairs.
+// Repairs are returned as source instances; the safe part appears in every
+// repair, so enumeration effort is confined to the suspect envelope.
+func (ex *Exchange) Repairs(limit int) ([]*instance.Instance, error) {
+	// Variables only for the suspect part; everything safe is pinned.
+	state := func(f chase.FactID) factState {
+		if ex.safeDerivable[f] {
+			return factTrue
+		}
+		return factVar
+	}
+	enc := newEncoder(ex.Prov, state)
+	enc.build()
+	solver := asp.NewStableSolver(enc.gp)
+	solver.Acceptor = enc.maximalityAcceptor(solver)
+
+	// Safe source facts belong to every repair.
+	base := instance.New(ex.Prov.Instance.Catalog())
+	n := ex.Prov.NumFacts()
+	var srcVars []chase.FactID
+	for id := 0; id < n; id++ {
+		f := chase.FactID(id)
+		if !ex.Prov.IsSource(f) {
+			continue
+		}
+		if ex.safeDerivable[f] {
+			base.AddFact(ex.Prov.Fact(f))
+		} else {
+			srcVars = append(srcVars, f)
+		}
+	}
+	var out []*instance.Instance
+	solver.Enumerate(func(m []bool) bool {
+		rep := base.Clone()
+		for _, f := range srcVars {
+			if a, ok := enc.r[f]; ok && m[a] {
+				rep.AddFact(ex.Prov.Fact(f))
+			}
+		}
+		out = append(out, rep)
+		return limit == 0 || len(out) < limit
+	})
+	return out, nil
+}

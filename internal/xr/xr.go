@@ -1,0 +1,148 @@
+// Package xr implements the paper's primary contribution: XR-Certain query
+// answering for data exchange under inconsistency-tolerant semantics.
+//
+// It provides:
+//
+//   - the Figure 1 / Theorem 2 encoding of the XR-solutions of a source
+//     instance as the stable models of a disjunctive logic program,
+//     partially evaluated against the canonical quasi-solution;
+//   - the monolithic pipeline (Section 5.2): one DLP per (query, instance);
+//   - the segmentary pipeline (Section 6): a query-independent exchange
+//     phase computing repair envelopes, violation clusters and influences,
+//     and a query phase solving one small DLP per fact signature;
+//   - a brute-force reference implementation that enumerates source repairs
+//     explicitly (exponential; for validation on small instances).
+package xr
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/cq"
+	"repro/internal/gavreduce"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/mapping"
+	"repro/internal/symtab"
+)
+
+// Result holds the XR-Certain answers of one query.
+type Result struct {
+	Query   *logic.UCQ
+	Answers *cq.AnswerSet
+	Stats   QueryStats
+	// Err is ErrTimeout when the query exceeded its solving budget; the
+	// Answers are then a lower bound (possibly empty).
+	Err error
+}
+
+// QueryStats records per-query execution measurements.
+type QueryStats struct {
+	Candidates     int // candidate answers (Definition 2 upper bound)
+	SafeAccepted   int // candidates accepted without solving
+	SolverAccepted int // candidates accepted by cautious reasoning
+	Programs       int // DLP programs solved
+	GroundRules    int // total ground rules across programs
+	GroundAtoms    int // total ground atoms across programs
+	Duration       time.Duration
+}
+
+// candidate is one candidate answer tuple with its support sets (ground
+// clause-body matches in the canonical quasi-solution).
+type candidate struct {
+	tuple    []symtab.Value
+	supports [][]chase.FactID
+}
+
+// collectCandidates evaluates the (rewritten) UCQ over the quasi-solution
+// and returns each distinct answer tuple with all of its support sets.
+func collectCandidates(rq *logic.UCQ, prov *chase.Provenance) []*candidate {
+	byKey := make(map[string]*candidate)
+	var order []string
+	for ci := range rq.Clauses {
+		c := &rq.Clauses[ci]
+		plan := cq.Compile(c.Body, prov.Instance)
+		plan.ForEach(prov.Instance, func(env []symtab.Value) bool {
+			tuple := make([]symtab.Value, len(c.Head))
+			for i, t := range c.Head {
+				if t.IsVar() {
+					tuple[i] = env[plan.VarSlot[t.Var]]
+				} else {
+					tuple[i] = t.Val
+				}
+			}
+			support := make([]chase.FactID, len(c.Body))
+			for i, a := range c.Body {
+				args := make([]symtab.Value, len(a.Terms))
+				for j, t := range a.Terms {
+					if t.IsVar() {
+						args[j] = env[plan.VarSlot[t.Var]]
+					} else {
+						args[j] = t.Val
+					}
+				}
+				id, ok := prov.FactIDOf(instance.Fact{Rel: a.Rel, Args: args})
+				if !ok {
+					panic("xr: candidate support fact not in provenance")
+				}
+				support[i] = id
+			}
+			sort.Slice(support, func(i, j int) bool { return support[i] < support[j] })
+			k := instance.EncodeTuple(tuple)
+			cand, ok := byKey[k]
+			if !ok {
+				cand = &candidate{tuple: tuple}
+				byKey[k] = cand
+				order = append(order, k)
+			}
+			cand.addSupport(support)
+			return true
+		})
+	}
+	out := make([]*candidate, len(order))
+	for i, k := range order {
+		out[i] = byKey[k]
+	}
+	return out
+}
+
+func (c *candidate) addSupport(s []chase.FactID) {
+	for _, prev := range c.supports {
+		if factIDsEqual(prev, s) {
+			return
+		}
+	}
+	c.supports = append(c.supports, s)
+}
+
+func factIDsEqual(a, b []chase.FactID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prepare reduces the mapping and rewrites the queries; shared by both
+// pipelines.
+func prepare(m *mapping.Mapping, queries []*logic.UCQ) (*gavreduce.Reduction, []*logic.UCQ, error) {
+	red, err := gavreduce.Reduce(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	rqs := make([]*logic.UCQ, len(queries))
+	for i, q := range queries {
+		rq, err := red.RewriteQuery(q)
+		if err != nil {
+			return nil, nil, fmt.Errorf("xr: rewriting query %s: %w", q.Name, err)
+		}
+		rqs[i] = rq
+	}
+	return red, rqs, nil
+}

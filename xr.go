@@ -1,0 +1,288 @@
+// Package repro is a Go implementation of exchange-repair (XR-Certain)
+// query answering in data exchange, reproducing ten Cate, Halpert, Kolaitis:
+// "Practical Query Answering in Data Exchange Under Inconsistency-Tolerant
+// Semantics" (EDBT 2016).
+//
+// A schema mapping M = (S, T, Σst, Σt) specifies how source data populates
+// a target schema under target constraints. When a source instance admits
+// no solution, the usual certain answers trivialize; XR-Certain semantics
+// instead intersects the answers over all solutions of all *source repairs*
+// (maximal sub-instances that admit a solution).
+//
+// The package exposes three engines:
+//
+//   - Exchange/Answer — the paper's segmentary approach (Section 6): a
+//     tractable query-independent exchange phase (chase, repair envelopes,
+//     violation clusters), then one small disjunctive-logic-program per
+//     fact signature at query time;
+//   - MonolithicAnswers — the paper's baseline (Sections 4–5): one large
+//     program per (query, instance);
+//   - BruteForceAnswers — exhaustive repair enumeration, exponential, for
+//     validation on small instances.
+//
+// Mappings, instances, and queries are supplied in a textual format; see
+// the package examples and internal/parser for the grammar.
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/xr"
+)
+
+// System is a loaded schema mapping together with its symbol tables.
+type System struct {
+	w *parser.World
+}
+
+// Load parses a schema mapping from its textual form:
+//
+//	source R(attr, ...).          # declare a source relation
+//	target T(attr, ...).          # declare a target relation
+//	tgd [label:] body -> head.    # atoms joined with &; body over S (or T)
+//	egd [label:] body -> x = y.   # body over T
+//
+// Identifiers in dependencies are variables; constants are quoted or
+// numeric; `#` starts a comment.
+func Load(mappingText string) (*System, error) {
+	w, err := parser.ParseMapping(mappingText)
+	if err != nil {
+		return nil, err
+	}
+	return &System{w: w}, nil
+}
+
+// Instance is a source instance over a System's source schema.
+type Instance struct {
+	sys *System
+	in  *instance.Instance
+}
+
+// ParseFacts loads a fact file ("R('a', 3)." — bare identifiers and numbers
+// are constants in fact files).
+func (s *System) ParseFacts(text string) (*Instance, error) {
+	in, err := parser.ParseFacts(text, s.w)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{sys: s, in: in}, nil
+}
+
+// NumFacts returns the number of facts.
+func (i *Instance) NumFacts() int { return i.in.Len() }
+
+// Query is a union of conjunctive queries over the target schema.
+type Query struct {
+	sys *System
+	q   *logic.UCQ
+}
+
+// Name returns the query name.
+func (q *Query) Name() string { return q.q.Name }
+
+// Arity returns the answer arity.
+func (q *Query) Arity() int { return q.q.Arity }
+
+// String renders the query in Datalog style.
+func (q *Query) String() string { return q.q.String(q.sys.w.Cat, q.sys.w.U) }
+
+// ParseQueries loads Datalog-style queries ("q(x) :- T(x, y), U(y)."),
+// one UCQ per distinct name.
+func (s *System) ParseQueries(text string) ([]*Query, error) {
+	qs, err := parser.ParseQueries(text, s.w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Query, len(qs))
+	for i, q := range qs {
+		out[i] = &Query{sys: s, q: q}
+	}
+	return out, nil
+}
+
+// HasSolution reports whether the instance admits a solution w.r.t. the
+// mapping (if not, plain certain answers trivialize and XR-Certain
+// semantics is called for).
+func (s *System) HasSolution(i *Instance) bool {
+	return chase.HasSolution(s.w.M, i.in)
+}
+
+// Answers is a set of answer tuples, rendered as strings.
+type Answers struct {
+	Tuples [][]string
+	// Stats carries per-query measurements (candidates, programs solved,
+	// duration); see the xr package for field meanings.
+	Candidates     int
+	SafeAccepted   int
+	SolverAccepted int
+	Programs       int
+	Duration       time.Duration
+}
+
+func (s *System) answersOf(res *xr.Result) *Answers {
+	a := &Answers{
+		Candidates:     res.Stats.Candidates,
+		SafeAccepted:   res.Stats.SafeAccepted,
+		SolverAccepted: res.Stats.SolverAccepted,
+		Programs:       res.Stats.Programs,
+		Duration:       res.Stats.Duration,
+	}
+	for _, t := range res.Answers.Tuples() {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = s.w.U.Name(v)
+		}
+		a.Tuples = append(a.Tuples, row)
+	}
+	return a
+}
+
+// Exchange is the reusable result of the segmentary exchange phase for one
+// instance: the chased target, the suspect/safe split, and the violation
+// clusters. Build it once, answer many queries.
+type Exchange struct {
+	sys *System
+	ex  *xr.Exchange
+}
+
+// NewExchange runs the exchange phase (polynomial, query-independent).
+func (s *System) NewExchange(i *Instance) (*Exchange, error) {
+	ex, err := xr.NewExchange(s.w.M, i.in)
+	if err != nil {
+		return nil, err
+	}
+	return &Exchange{sys: s, ex: ex}, nil
+}
+
+// Consistent reports whether the instance has a solution (no violations).
+func (e *Exchange) Consistent() bool { return e.ex.Consistent() }
+
+// Violations returns the number of violated ground egds.
+func (e *Exchange) Violations() int { return e.ex.Stats.Violations }
+
+// Clusters returns the number of violation clusters.
+func (e *Exchange) Clusters() int { return e.ex.Stats.Clusters }
+
+// SuspectFacts returns |I_suspect|, the size of the source repair envelope.
+func (e *Exchange) SuspectFacts() int { return e.ex.SuspectSourceFacts() }
+
+// Stats returns the raw exchange statistics.
+func (e *Exchange) Stats() xr.ExchangeStats { return e.ex.Stats }
+
+// Answer computes the XR-Certain answers of q (segmentary query phase).
+func (e *Exchange) Answer(q *Query) (*Answers, error) {
+	res, err := e.ex.Answer(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return e.sys.answersOf(res), nil
+}
+
+// Possible computes the XR-Possible answers of q: the tuples holding in at
+// least one exchange-repair solution (the union dual of XR-Certain).
+func (e *Exchange) Possible(q *Query) (*Answers, error) {
+	res, err := e.ex.Possible(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return e.sys.answersOf(res), nil
+}
+
+// Repairs enumerates up to limit source repairs (0 = all) using the
+// solver, rendered as fact files. Unlike SourceRepairs it scales past a
+// couple of dozen facts: the safe part is shared and only the suspect
+// envelope is searched.
+func (e *Exchange) Repairs(limit int) ([]string, error) {
+	repairs, err := e.ex.Repairs(limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(repairs))
+	for i, rep := range repairs {
+		out[i] = parser.FormatFacts(rep, e.sys.w.Cat, e.sys.w.U)
+	}
+	return out, nil
+}
+
+// MonolithicAnswers computes XR-Certain answers with the monolithic
+// pipeline: per query, the mapping is reduced, the instance chased, one
+// large disjunctive program built, and cautious reasoning run. timeout
+// bounds each query (zero = unlimited); timed-out queries report
+// ErrTimeout via Answers == nil entries in the error slice.
+func (s *System) MonolithicAnswers(i *Instance, queries []*Query, timeout time.Duration) ([]*Answers, []error, error) {
+	qs := make([]*logic.UCQ, len(queries))
+	for j, q := range queries {
+		qs[j] = q.q
+	}
+	results, err := xr.Monolithic(s.w.M, i.in, qs, xr.MonolithicOptions{Timeout: timeout})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*Answers, len(results))
+	errs := make([]error, len(results))
+	for j, r := range results {
+		out[j] = s.answersOf(r)
+		errs[j] = r.Err
+	}
+	return out, errs, nil
+}
+
+// BruteForceAnswers computes XR-Certain answers by explicit source-repair
+// enumeration (exponential; refuses instances over 22 facts). Intended for
+// validating the other engines.
+func (s *System) BruteForceAnswers(i *Instance, queries []*Query) ([]*Answers, error) {
+	qs := make([]*logic.UCQ, len(queries))
+	for j, q := range queries {
+		qs[j] = q.q
+	}
+	results, err := xr.BruteForce(s.w.M, i.in, qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Answers, len(results))
+	for j, r := range results {
+		out[j] = s.answersOf(r)
+	}
+	return out, nil
+}
+
+// SourceRepairs enumerates the source repairs of a small instance and
+// renders each as a fact file (for inspection and teaching).
+func (s *System) SourceRepairs(i *Instance) ([]string, error) {
+	repairs, err := xr.SourceRepairs(s.w.M, i.in)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(repairs))
+	for j, rep := range repairs {
+		out[j] = parser.FormatFacts(rep, s.w.Cat, s.w.U)
+	}
+	return out, nil
+}
+
+// MappingStats describes dependency counts.
+func (s *System) MappingStats() string {
+	return s.w.M.Stats().String()
+}
+
+// Materialize computes the core of the canonical universal solution for a
+// consistent instance: the preferred target materialization in data
+// exchange (Fagin–Kolaitis–Popa), with no redundant labeled nulls. It is
+// rendered as a fact file; labeled nulls print as _N1, _N2, ...
+//
+// For inconsistent instances it returns an error — use NewExchange and the
+// XR-Certain machinery instead.
+func (s *System) Materialize(i *Instance) (string, error) {
+	j, err := chase.Native(s.w.M, i.in)
+	if err != nil {
+		return "", fmt.Errorf("repro: instance has no solution: %w", err)
+	}
+	target := j.Restrict(s.w.M.Target)
+	core := chase.Core(target)
+	return parser.FormatFacts(core, s.w.Cat, s.w.U), nil
+}

@@ -1,0 +1,216 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const demoMapping = `
+source Observed(transcript, exons).
+source Curated(transcript, exons).
+target Gene(transcript, exons).
+tgd obs: Observed(t, e) -> Gene(t, e).
+tgd cur: Curated(t, e) -> Gene(t, e).
+egd key: Gene(t, e1) & Gene(t, e2) -> e1 = e2.
+`
+
+const demoFacts = `
+Observed(tx1, 4).
+Curated(tx1, 5).
+Observed(tx2, 7).
+Curated(tx2, 7).
+`
+
+const demoQueries = `
+q(t, e) :- Gene(t, e).
+anyGene() :- Gene(t, e).
+`
+
+func setup(t *testing.T) (*System, *Instance, []*Query) {
+	t.Helper()
+	sys, err := Load(demoMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sys.ParseFacts(demoFacts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := sys.ParseQueries(demoQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, in, qs
+}
+
+func TestAPIEndToEnd(t *testing.T) {
+	sys, in, qs := setup(t)
+	if in.NumFacts() != 4 {
+		t.Fatalf("facts = %d", in.NumFacts())
+	}
+	if sys.HasSolution(in) {
+		t.Fatal("conflicting instance reported consistent")
+	}
+	if got := sys.MappingStats(); got != "2 s-t tgds, 0 target tgds, 1 egds" {
+		t.Fatalf("stats = %q", got)
+	}
+
+	ex, err := sys.NewExchange(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Consistent() || ex.Violations() != 1 || ex.Clusters() != 1 || ex.SuspectFacts() != 2 {
+		t.Fatalf("exchange: consistent=%v violations=%d clusters=%d suspect=%d",
+			ex.Consistent(), ex.Violations(), ex.Clusters(), ex.SuspectFacts())
+	}
+
+	ans, err := ex.Answer(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tx1's exon count is disputed; tx2's is certain.
+	if len(ans.Tuples) != 1 || ans.Tuples[0][0] != "tx2" || ans.Tuples[0][1] != "7" {
+		t.Fatalf("answers = %v", ans.Tuples)
+	}
+	boolAns, err := ex.Answer(qs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boolAns.Tuples) != 1 || len(boolAns.Tuples[0]) != 0 {
+		t.Fatalf("boolean query answers = %v", boolAns.Tuples)
+	}
+}
+
+func TestAPIEnginesAgree(t *testing.T) {
+	sys, in, qs := setup(t)
+	seg := make([]*Answers, len(qs))
+	ex, err := sys.NewExchange(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		seg[i], err = ex.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mono, errs, err := sys.MonolithicAnswers(in, qs, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := sys.BruteForceAnswers(in, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if errs[i] != nil {
+			t.Fatalf("monolithic error: %v", errs[i])
+		}
+		if len(mono[i].Tuples) != len(seg[i].Tuples) || len(brute[i].Tuples) != len(seg[i].Tuples) {
+			t.Fatalf("query %s: mono=%d seg=%d brute=%d",
+				qs[i].Name(), len(mono[i].Tuples), len(seg[i].Tuples), len(brute[i].Tuples))
+		}
+	}
+}
+
+func TestAPISourceRepairs(t *testing.T) {
+	sys, in, _ := setup(t)
+	repairs, err := sys.SourceRepairs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tx1: keep Observed(4) or Curated(5) → two repairs.
+	if len(repairs) != 2 {
+		t.Fatalf("repairs = %d, want 2", len(repairs))
+	}
+	for _, r := range repairs {
+		if r == "" {
+			t.Fatal("empty repair rendering")
+		}
+	}
+}
+
+func TestAPIQueryAccessors(t *testing.T) {
+	sys, _, qs := setup(t)
+	_ = sys
+	if qs[0].Name() != "q" || qs[0].Arity() != 2 {
+		t.Fatalf("query accessors wrong: %s/%d", qs[0].Name(), qs[0].Arity())
+	}
+	if qs[0].String() == "" {
+		t.Fatal("empty query rendering")
+	}
+}
+
+func TestAPILoadErrors(t *testing.T) {
+	if _, err := Load("nonsense"); err == nil {
+		t.Fatal("bad mapping accepted")
+	}
+	sys, _, _ := setup(t)
+	if _, err := sys.ParseFacts("Nope(1)."); err == nil {
+		t.Fatal("bad facts accepted")
+	}
+	if _, err := sys.ParseQueries("q(x) :- Missing(x)."); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestAPIExchangeRepairsAndPossible(t *testing.T) {
+	sys, in, qs := setup(t)
+	ex, err := sys.NewExchange(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairs, err := ex.Repairs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 2 {
+		t.Fatalf("repairs = %d, want 2", len(repairs))
+	}
+	possible, err := ex.Possible(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Possible: (tx1,4), (tx1,5), (tx2,7) = 3 tuples.
+	if len(possible.Tuples) != 3 {
+		t.Fatalf("possible = %v", possible.Tuples)
+	}
+}
+
+func TestAPIMaterialize(t *testing.T) {
+	sys, err := Load(`
+source R(x).
+source P(x, y).
+target S(x, y).
+tgd R(x) -> S(x, z).
+tgd P(x, y) -> S(x, y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R(a) alone: S(a, _N1) — the null is necessary.
+	in1, _ := sys.ParseFacts(`R(a).`)
+	out1, err := sys.Materialize(in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out1, "_N") {
+		t.Fatalf("materialization lost a necessary null:\n%s", out1)
+	}
+	// R(a) plus P(a,b): the null folds onto b — core has one fact, no nulls.
+	in2, _ := sys.ParseFacts(`R(a). P(a, b).`)
+	out2, err := sys.Materialize(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out2, "_N") || strings.Count(out2, "S(") != 1 {
+		t.Fatalf("core not computed:\n%s", out2)
+	}
+	// Inconsistent instances are rejected.
+	sys2, _ := Load(demoMapping)
+	bad, _ := sys2.ParseFacts(demoFacts)
+	if _, err := sys2.Materialize(bad); err == nil {
+		t.Fatal("materialized an inconsistent instance")
+	}
+}
