@@ -1,0 +1,17 @@
+# Tier-1 gate: vet plus the full test suite under the race detector.
+# The parallel segmentary query phase and the signature-program cache are
+# exercised concurrently by the tests, so -race is part of the gate.
+.PHONY: check build test bench
+
+check:
+	go vet ./...
+	go test -race ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem

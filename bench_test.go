@@ -8,7 +8,9 @@ package repro
 // EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/gavreduce"
 	"repro/internal/genome"
+	"repro/internal/logic"
 	"repro/internal/xr"
 )
 
@@ -210,6 +213,105 @@ func BenchmarkSegmentaryQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// warmGenomeQuery builds a warm exchange for the given profile and returns
+// it with one named query (cache warmed, so iterations measure solving).
+func warmGenomeQuery(b *testing.B, profile, query string) (*xr.Exchange, *logic.UCQ) {
+	b.Helper()
+	w, err := genome.NewWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, ok := genome.ProfileByName(profile, benchScale())
+	if !ok {
+		b.Fatalf("unknown profile %s", profile)
+	}
+	src := genome.Generate(w, p)
+	ex, err := xr.NewExchange(w.M, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := genome.Queries(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.Name == query {
+			if _, err := ex.Answer(q); err != nil { // warm the program cache
+				b.Fatal(err)
+			}
+			return ex, q
+		}
+	}
+	b.Fatalf("unknown query %s", query)
+	return nil, nil
+}
+
+// BenchmarkSegmentaryParallelism compares the sequential query phase with a
+// saturated worker pool on L20/ep2 (the most cluster-rich profile: at the
+// default scale each call solves ~64 per-signature programs, one per
+// violation cluster). Both sub-benchmarks share a warm exchange, so the
+// comparison isolates solving from grounding.
+func BenchmarkSegmentaryParallelism(b *testing.B) {
+	ex, ep2 := warmGenomeQuery(b, "L20", "ep2")
+	for _, p := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.AnswerOpts(ep2, xr.Options{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSignatureCache compares a query against a cold exchange (every
+// signature program ground from scratch) with the same query against a warm
+// one (every program served from the cache and cloned).
+func BenchmarkSignatureCache(b *testing.B) {
+	w, err := genome.NewWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := genome.ProfileByName("L20", benchScale())
+	src := genome.Generate(w, p)
+	qs, err := genome.Queries(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep2 := qs[1]
+	if ep2.Name != "ep2" {
+		b.Fatal("query order changed")
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ex, err := xr.NewExchange(w.M, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := ex.Answer(ep2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		ex, err := xr.NewExchange(w.M, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex.Answer(ep2); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Answer(ep2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkStableSolver3Coloring measures stable-model enumeration on a

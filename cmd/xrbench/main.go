@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	xrbench [-experiment all] [-scale 0.1] [-mono-timeout 60s] [-quiet]
+//	xrbench [-experiment all] [-scale 0.1] [-mono-timeout 60s] [-parallel 1] [-quiet]
 //
 // Experiments: table1 table2 table3 table4 fig3a fig3b fig4a fig4b
 // reduction speedup all. -scale 1 selects paper-sized instances (slow);
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,20 +27,25 @@ func main() {
 		experiment  = flag.String("experiment", "all", "which experiment to run (comma-separated)")
 		scale       = flag.Float64("scale", 0.1, "instance scale factor (1 = paper-sized)")
 		monoTimeout = flag.Duration("mono-timeout", 60*time.Second, "per-query timeout for monolithic runs")
+		parallel    = flag.Int("parallel", 1, "programs solved concurrently per call (0 = GOMAXPROCS)")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scale, *monoTimeout, *quiet); err != nil {
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if err := run(*experiment, *scale, *monoTimeout, *parallel, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "xrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, scale float64, monoTimeout time.Duration, quiet bool) error {
+func run(experiment string, scale float64, monoTimeout time.Duration, parallel int, quiet bool) error {
 	r, err := benchkit.NewRunner(scale, monoTimeout)
 	if err != nil {
 		return err
 	}
+	r.Parallelism = parallel
 	if !quiet {
 		r.Progress = os.Stderr
 	}
@@ -66,7 +72,7 @@ func run(experiment string, scale float64, monoTimeout time.Duration, quiet bool
 	}
 	ran := 0
 	var out io.Writer = os.Stdout
-	fmt.Fprintf(out, "xrbench: scale=%.3g mono-timeout=%v\n\n", scale, monoTimeout)
+	fmt.Fprintf(out, "xrbench: scale=%.3g mono-timeout=%v parallel=%d\n\n", scale, monoTimeout, parallel)
 	for _, e := range exps {
 		if !want["all"] && !want[e.name] {
 			continue

@@ -5,10 +5,12 @@
 // Usage:
 //
 //	xrquery -mapping m.map -facts i.facts -queries q.dl \
-//	        [-engine seg|mono|brute] [-timeout 60s] [-stats] [-possible]
+//	        [-engine seg|mono|brute] [-timeout 60s] [-parallel N] \
+//	        [-stats] [-trace] [-possible]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,28 +20,62 @@ import (
 	"repro"
 )
 
+// config collects the command-line options.
+type config struct {
+	engine   string
+	timeout  time.Duration
+	parallel int
+	stats    bool
+	trace    bool
+	possible bool
+}
+
 func main() {
 	var (
 		mappingPath = flag.String("mapping", "", "schema mapping file (required)")
 		factsPath   = flag.String("facts", "", "source instance fact file (required)")
 		queriesPath = flag.String("queries", "", "query file (required)")
-		engine      = flag.String("engine", "seg", "engine: seg, mono, or brute")
-		timeout     = flag.Duration("timeout", 0, "per-query timeout for the monolithic engine (0 = none)")
-		stats       = flag.Bool("stats", false, "print per-query statistics")
-		possible    = flag.Bool("possible", false, "also print XR-Possible answers (segmentary engine only)")
+		cfg         config
 	)
+	flag.StringVar(&cfg.engine, "engine", "seg", "engine: seg, mono, or brute")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "per-query solving timeout (0 = none)")
+	flag.IntVar(&cfg.parallel, "parallel", 1, "programs solved concurrently (0 = GOMAXPROCS)")
+	flag.BoolVar(&cfg.stats, "stats", false, "print per-query statistics")
+	flag.BoolVar(&cfg.trace, "trace", false, "print per-program solver diagnostics to stderr")
+	flag.BoolVar(&cfg.possible, "possible", false, "also print XR-Possible answers (segmentary engine only)")
 	flag.Parse()
 	if *mappingPath == "" || *factsPath == "" || *queriesPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*mappingPath, *factsPath, *queriesPath, *engine, *timeout, *stats, *possible); err != nil {
+	if err := run(*mappingPath, *factsPath, *queriesPath, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xrquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mappingPath, factsPath, queriesPath, engine string, timeout time.Duration, stats, possible bool) error {
+// queryOptions translates the config into per-call options.
+func (c config) queryOptions() []repro.Option {
+	var opts []repro.Option
+	if c.timeout > 0 {
+		opts = append(opts, repro.WithTimeout(c.timeout))
+	}
+	if c.parallel != 1 {
+		opts = append(opts, repro.WithParallelism(c.parallel))
+	}
+	if c.trace {
+		opts = append(opts, repro.WithSolverTrace(func(ev repro.TraceEvent) {
+			fmt.Fprintf(os.Stderr,
+				"[%s] query=%s sig=%v cands=%d atoms=%d rules=%d cached=%v tested=%d fails=%d loops=%d rejects=%d conflicts=%d props=%d in %v\n",
+				ev.Engine, ev.Query, ev.Signature, ev.Candidates, ev.Atoms, ev.Rules,
+				ev.CacheHit, ev.CandidatesTested, ev.StabilityFails, ev.LoopsLearned,
+				ev.TheoryRejects, ev.Conflicts, ev.Propagations, ev.Duration)
+		}))
+	}
+	return opts
+}
+
+func run(mappingPath, factsPath, queriesPath string, cfg config) error {
 	sys, err := loadSystem(mappingPath)
 	if err != nil {
 		return err
@@ -64,7 +100,8 @@ func run(mappingPath, factsPath, queriesPath, engine string, timeout time.Durati
 	fmt.Printf("# mapping: %s; instance: %d facts; consistent: %v\n",
 		sys.MappingStats(), in.NumFacts(), sys.HasSolution(in))
 
-	switch engine {
+	opts := cfg.queryOptions()
+	switch cfg.engine {
 	case "seg":
 		ex, err := sys.NewExchange(in)
 		if err != nil {
@@ -74,29 +111,31 @@ func run(mappingPath, factsPath, queriesPath, engine string, timeout time.Durati
 		fmt.Printf("# exchange phase: %v (violations=%d clusters=%d suspect=%d)\n",
 			st.Duration, st.Violations, st.Clusters, ex.SuspectFacts())
 		for _, q := range queries {
-			ans, err := ex.Answer(q)
+			ans, err := ex.Answer(q, opts...)
 			if err != nil {
-				return fmt.Errorf("query %s: %w", q.Name(), err)
+				return err // already carries the query name
 			}
-			printAnswers(q.Name(), ans, stats)
-			if possible {
-				poss, err := ex.Possible(q)
+			printAnswers(q.Name(), ans, cfg.stats)
+			if cfg.possible {
+				poss, err := ex.Possible(q, opts...)
 				if err != nil {
-					return fmt.Errorf("query %s (possible): %w", q.Name(), err)
+					return fmt.Errorf("possible: %w", err)
 				}
-				printAnswers(q.Name()+" [possible]", poss, stats)
+				printAnswers(q.Name()+" [possible]", poss, cfg.stats)
 			}
 		}
 	case "mono":
-		answers, errs, err := sys.MonolithicAnswers(in, queries, timeout)
+		answers, errs, err := sys.MonolithicAnswers(in, queries, opts...)
 		if err != nil {
 			return err
 		}
 		for i, q := range queries {
-			if errs[i] != nil {
-				fmt.Printf("%s: TIMEOUT after %v (answers below are a lower bound)\n", q.Name(), timeout)
+			if errors.Is(errs[i], repro.ErrTimeout) {
+				fmt.Printf("%s: TIMEOUT after %v (answers below are a lower bound)\n", q.Name(), cfg.timeout)
+			} else if errs[i] != nil {
+				fmt.Printf("%s: %v (answers below are a lower bound)\n", q.Name(), errs[i])
 			}
-			printAnswers(q.Name(), answers[i], stats)
+			printAnswers(q.Name(), answers[i], cfg.stats)
 		}
 	case "brute":
 		answers, err := sys.BruteForceAnswers(in, queries)
@@ -104,10 +143,10 @@ func run(mappingPath, factsPath, queriesPath, engine string, timeout time.Durati
 			return err
 		}
 		for i, q := range queries {
-			printAnswers(q.Name(), answers[i], stats)
+			printAnswers(q.Name(), answers[i], cfg.stats)
 		}
 	default:
-		return fmt.Errorf("unknown engine %q (want seg, mono, or brute)", engine)
+		return fmt.Errorf("unknown engine %q (want seg, mono, or brute)", cfg.engine)
 	}
 	return nil
 }
@@ -126,9 +165,9 @@ func loadSystem(path string) (*repro.System, error) {
 
 func printAnswers(name string, ans *repro.Answers, stats bool) {
 	if stats {
-		fmt.Printf("%s: %d answers (candidates=%d safe=%d solver=%d programs=%d) in %v\n",
+		fmt.Printf("%s: %d answers (candidates=%d safe=%d solver=%d programs=%d cached=%d) in %v\n",
 			name, len(ans.Tuples), ans.Candidates, ans.SafeAccepted, ans.SolverAccepted,
-			ans.Programs, ans.Duration)
+			ans.Programs, ans.CacheHits, ans.Duration)
 	} else {
 		fmt.Printf("%s: %d answers\n", name, len(ans.Tuples))
 	}

@@ -36,7 +36,8 @@ A(t2, 3). B(t2, 3).
 func TestRunAllEngines(t *testing.T) {
 	m, f, q := fixtureFiles(t)
 	for _, engine := range []string{"seg", "mono", "brute"} {
-		if err := run(m, f, q, engine, time.Minute, true, engine == "seg"); err != nil {
+		cfg := config{engine: engine, timeout: time.Minute, parallel: 2, stats: true, trace: true, possible: engine == "seg"}
+		if err := run(m, f, q, cfg); err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
 		}
 	}
@@ -44,18 +45,19 @@ func TestRunAllEngines(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	m, f, q := fixtureFiles(t)
-	if err := run(m, f, q, "warp", 0, false, false); err == nil {
+	seg := config{engine: "seg", parallel: 1}
+	if err := run(m, f, q, config{engine: "warp", parallel: 1}); err == nil {
 		t.Fatal("unknown engine accepted")
 	}
-	if err := run("/nonexistent.map", f, q, "seg", 0, false, false); err == nil {
+	if err := run("/nonexistent.map", f, q, seg); err == nil {
 		t.Fatal("missing mapping accepted")
 	}
 	bad := writeTemp(t, "bad.map", "gibberish")
-	if err := run(bad, f, q, "seg", 0, false, false); err == nil {
+	if err := run(bad, f, q, seg); err == nil {
 		t.Fatal("bad mapping accepted")
 	}
 	badFacts := writeTemp(t, "bad.facts", "Nope(1).")
-	if err := run(m, badFacts, q, "seg", 0, false, false); err == nil {
+	if err := run(m, badFacts, q, seg); err == nil {
 		t.Fatal("bad facts accepted")
 	}
 }

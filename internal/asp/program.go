@@ -69,6 +69,24 @@ func (p *GroundProgram) LookupAtom(name string) (AtomID, bool) {
 // NumAtoms returns the number of atoms.
 func (p *GroundProgram) NumAtoms() int { return len(p.names) }
 
+// Clone returns an independent copy of the program: rules, facts, and atom
+// tables are copied, so atoms and rules added to the clone never touch the
+// original. The per-rule Head/Pos/Neg slices are shared — they are
+// immutable once added. Cloning an already-grounded base and extending the
+// copy is how cached signature programs are specialized per query.
+func (p *GroundProgram) Clone() *GroundProgram {
+	q := &GroundProgram{
+		names: append(make([]string, 0, len(p.names)+8), p.names...),
+		ids:   make(map[string]AtomID, len(p.ids)),
+		Rules: append(make([]GroundRule, 0, len(p.Rules)+8), p.Rules...),
+		Facts: append(make([]AtomID, 0, len(p.Facts)+4), p.Facts...),
+	}
+	for k, v := range p.ids {
+		q.ids[k] = v
+	}
+	return q
+}
+
 // AddRule appends a rule.
 func (p *GroundProgram) AddRule(head, pos, neg []AtomID) {
 	p.Rules = append(p.Rules, GroundRule{Head: head, Pos: pos, Neg: neg})

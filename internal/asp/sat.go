@@ -7,6 +7,7 @@
 package asp
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 )
@@ -93,7 +94,8 @@ type Solver struct {
 	seen   []bool
 	ok     bool // false once a top-level conflict is derived
 	model  modelSnapshot
-	cancel *atomic.Bool // cooperative cancellation; nil = never
+	cancel *atomic.Bool    // cooperative cancellation; nil = never
+	ctx    context.Context // context-based cancellation; nil = never
 
 	// Stats
 	Conflicts, Decisions, Propagations int64
@@ -435,8 +437,20 @@ func luby(i int64) int64 {
 // Canceled to distinguish cancellation from unsatisfiability).
 func (s *Solver) SetCancel(flag *atomic.Bool) { s.cancel = flag }
 
-// Canceled reports whether the cancellation flag is set.
-func (s *Solver) Canceled() bool { return s.cancel != nil && s.cancel.Load() }
+// SetContext installs a context checked cooperatively inside the search
+// loop: once ctx is done, in-flight and future Solve calls return false
+// promptly (check Canceled to distinguish cancellation from
+// unsatisfiability). It composes with SetCancel; either source cancels.
+func (s *Solver) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Canceled reports whether the cancellation flag is set or the installed
+// context is done.
+func (s *Solver) Canceled() bool {
+	if s.cancel != nil && s.cancel.Load() {
+		return true
+	}
+	return s.ctx != nil && s.ctx.Err() != nil
+}
 
 // Solve searches for a model under the given assumptions. It returns true
 // and fixes the model (read with ModelValue) or false if unsatisfiable

@@ -1,6 +1,9 @@
 package asp
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // This file implements the stable-model semantics on top of the CDCL core,
 // in the generate-and-test lineage of GnT / claspD:
@@ -77,8 +80,20 @@ type StableSolver struct {
 // "no model" (check Canceled).
 func (s *StableSolver) SetCancel(flag *atomic.Bool) { s.sat.SetCancel(flag) }
 
+// SetContext installs a context on the underlying SAT solver; once it is
+// done, in-flight stable-model searches return promptly with "no model"
+// (check Canceled to tell cancellation apart from exhaustion).
+func (s *StableSolver) SetContext(ctx context.Context) { s.sat.SetContext(ctx) }
+
 // Canceled reports whether the cancellation flag is set.
 func (s *StableSolver) Canceled() bool { return s.sat.Canceled() }
+
+// AddTheoryClause adds a clause over program atoms (built with AtomLit) to
+// the solver before or between searches. The clause must be sound for the
+// caller's theory — it must never exclude a model the caller would accept.
+// Used to replay clauses learned by an Acceptor in an earlier solver over
+// the same program.
+func (s *StableSolver) AddTheoryClause(clause []Lit) { s.sat.AddClause(clause...) }
 
 // AtomLit returns the solver literal for an atom, for use in Acceptor
 // clauses.

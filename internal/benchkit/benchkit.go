@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/genome"
 	"repro/internal/instance"
+	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/xr"
 )
@@ -73,6 +74,9 @@ type Runner struct {
 	// monolithic runs at large sizes are effectively unbounded; ours are
 	// reported as ">timeout" when exceeded, matching its log-log reading.
 	MonoTimeout time.Duration
+	// Parallelism is the per-call worker count for both engines (values
+	// below 2 run sequentially, matching the paper's setup).
+	Parallelism int
 	// Progress receives progress notes (nil = quiet).
 	Progress io.Writer
 
@@ -146,6 +150,16 @@ func (r *Runner) exchange(name string) (*xr.Exchange, error) {
 	}
 	r.exchanges[name] = ex
 	return ex, nil
+}
+
+// answer runs one segmentary query with the runner's parallelism.
+func (r *Runner) answer(ex *xr.Exchange, q *logic.UCQ) (*xr.Result, error) {
+	return ex.AnswerOpts(q, xr.Options{Parallelism: r.Parallelism})
+}
+
+// monoOptions returns the monolithic engine options for this runner.
+func (r *Runner) monoOptions() xr.MonolithicOptions {
+	return xr.MonolithicOptions{Timeout: r.MonoTimeout, Parallelism: r.Parallelism}
 }
 
 func seconds(d time.Duration) string {

@@ -118,7 +118,7 @@ func (r *Runner) Table3() (*Table, error) {
 		Headers: []string{"Query", "Answers", "Candidates", "Safe", "Solver"},
 	}
 	for _, q := range qs {
-		res, err := ex.Answer(q)
+		res, err := r.answer(ex, q)
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +178,7 @@ func (r *Runner) figure(title string, profiles []string, mono bool) (*Table, err
 				return nil, err
 			}
 			r.logf("monolithic suite on %s...", name)
-			results, err := xr.Monolithic(r.world.M, in, qs, xr.MonolithicOptions{Timeout: r.MonoTimeout})
+			results, err := xr.Monolithic(r.world.M, in, qs, r.monoOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -196,7 +196,7 @@ func (r *Runner) figure(title string, profiles []string, mono bool) (*Table, err
 			}
 			r.logf("segmentary suite on %s...", name)
 			for _, q := range qs {
-				res, err := ex.Answer(q)
+				res, err := r.answer(ex, q)
 				if err != nil {
 					return nil, err
 				}
@@ -276,7 +276,7 @@ func (r *Runner) Speedup(profiles []string) (*Table, error) {
 		}
 		r.logf("speedup: monolithic suite on %s...", name)
 		monoStart := time.Now()
-		results, err := xr.Monolithic(r.world.M, in, qs, xr.MonolithicOptions{Timeout: r.MonoTimeout})
+		results, err := xr.Monolithic(r.world.M, in, qs, r.monoOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -294,7 +294,7 @@ func (r *Runner) Speedup(profiles []string) (*Table, error) {
 		r.logf("speedup: segmentary suite on %s...", name)
 		segDur := time.Duration(0)
 		for _, q := range qs {
-			res, err := ex.Answer(q)
+			res, err := r.answer(ex, q)
 			if err != nil {
 				return nil, err
 			}

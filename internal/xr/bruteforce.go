@@ -21,7 +21,7 @@ func SourceRepairs(m *mapping.Mapping, src *instance.Instance) ([]*instance.Inst
 	facts := src.Facts()
 	n := len(facts)
 	if n > maxBruteForceFacts {
-		return nil, fmt.Errorf("xr: brute force limited to %d source facts, got %d", maxBruteForceFacts, n)
+		return nil, fmt.Errorf("xr: brute force limited to %d source facts, got %d: %w", maxBruteForceFacts, n, ErrTooLarge)
 	}
 	// Consistency is downward closed, so the repairs are the maximal
 	// consistent subsets.

@@ -123,7 +123,11 @@ func (e *encoder) build() {
 	e.emit(ids)
 }
 
-// buildFocused emits the program restricted to the given focus facts.
+// buildFocused emits the program restricted to the given focus facts and
+// then freezes the atom tables: the "remains" atom of every variable fact
+// is allocated up front, so later candidate wiring (addCandidate on a
+// specialized clone) only reads the shared r/d maps and is safe to run
+// from concurrent per-query specializations.
 func (e *encoder) buildFocused(focus map[chase.FactID]bool) {
 	ids := make([]chase.FactID, 0, len(focus))
 	for f := range focus {
@@ -131,6 +135,21 @@ func (e *encoder) buildFocused(focus map[chase.FactID]bool) {
 	}
 	sortFactIDs(ids)
 	e.emit(ids)
+	for _, f := range ids {
+		if e.state(f) == factVar {
+			e.rAtom(f)
+		}
+	}
+}
+
+// specialize returns an encoder sharing the frozen base state (atom
+// tables, provenance, state function) but writing to an independent clone
+// of the ground program, so per-query candidates never touch the cached
+// base. Only valid after buildFocused has frozen the atom tables.
+func (e *encoder) specialize() *encoder {
+	spec := *e
+	spec.gp = e.gp.Clone()
+	return &spec
 }
 
 func sortFactIDs(ids []chase.FactID) {
@@ -292,21 +311,38 @@ func (e *encoder) addCandidate(c *candidate) (asp.AtomID, bool) {
 // monotone), so no repair deletes f together with all of the model's other
 // deletions.
 func (e *encoder) maximalityAcceptor(s *asp.StableSolver) func(m []bool) [][]asp.Lit {
+	return e.acceptorWithIndex(newMaxIndex(e), s, nil)
+}
+
+// maxRule is one covered support set in the maximality derivation index.
+type maxRule struct {
+	head    chase.FactID
+	pending int
+}
+
+// maxIndex is the static derivation index behind the maximality check:
+// covered support sets with pinned facts treated as always present. It
+// depends only on the base encoder — never on per-query candidates — so a
+// cached signature program builds it once and shares it (read-only) across
+// all queries and workers.
+type maxIndex struct {
+	rules       []maxRule
+	watchers    map[chase.FactID][]int32
+	seeds       []chase.FactID // derived facts with a fully-pinned set
+	pendingInit []int
+	allSources  []chase.FactID // variable source facts (seed every fixpoint)
+}
+
+// newMaxIndex builds the derivation index, or nil when the encoder has no
+// deletable facts (no maximality check needed).
+func newMaxIndex(e *encoder) *maxIndex {
 	if len(e.deletable) == 0 {
 		return nil
 	}
-	// Static derivation index over covered support sets, with pinned facts
-	// treated as always present.
-	type ruleRef struct {
-		head    chase.FactID
-		pending int
-	}
-	var rules []ruleRef
-	watchers := make(map[chase.FactID][]int32)
-	seeds := make([]chase.FactID, 0) // derived facts with a fully-pinned set
-	for f, rAtom := range e.r {
-		_ = rAtom
+	x := &maxIndex{watchers: make(map[chase.FactID][]int32)}
+	for f := range e.r {
 		if e.prov.IsSource(f) {
+			x.allSources = append(x.allSources, f)
 			continue
 		}
 		for _, set := range e.prov.Supports(f) {
@@ -320,66 +356,78 @@ func (e *encoder) maximalityAcceptor(s *asp.StableSolver) func(m []bool) [][]asp
 				}
 			}
 			if pending == 0 {
-				seeds = append(seeds, f)
+				x.seeds = append(x.seeds, f)
 				continue
 			}
-			ri := int32(len(rules))
-			rules = append(rules, ruleRef{head: f, pending: pending})
+			ri := int32(len(x.rules))
+			x.rules = append(x.rules, maxRule{head: f, pending: pending})
 			for _, b := range set {
 				if e.state(b) == factVar {
-					watchers[b] = append(watchers[b], ri)
+					x.watchers[b] = append(x.watchers[b], ri)
 				}
 			}
 		}
 	}
-	pendingInit := make([]int, len(rules))
-	for i, r := range rules {
-		pendingInit[i] = r.pending
+	x.pendingInit = make([]int, len(x.rules))
+	for i, r := range x.rules {
+		x.pendingInit[i] = r.pending
 	}
-	// derivableWith computes the facts derivable from the kept source facts
-	// plus the restored fact, and reports whether a covered violation is
-	// realized.
-	derivableWith := func(kept map[chase.FactID]bool, restored chase.FactID) bool {
-		derived := make(map[chase.FactID]bool, len(kept)+len(seeds))
-		pending := make([]int, len(rules))
-		copy(pending, pendingInit)
-		var queue []chase.FactID
-		push := func(f chase.FactID) {
-			if !derived[f] {
-				derived[f] = true
-				queue = append(queue, f)
+	return x
+}
+
+// derivableWith computes the facts derivable from the kept source facts
+// plus the restored fact, and reports whether a covered violation is
+// realized. Read-only on the index; safe for concurrent callers.
+func (x *maxIndex) derivableWith(e *encoder, kept map[chase.FactID]bool, restored chase.FactID) bool {
+	derived := make(map[chase.FactID]bool, len(kept)+len(x.seeds))
+	pending := make([]int, len(x.rules))
+	copy(pending, x.pendingInit)
+	var queue []chase.FactID
+	push := func(f chase.FactID) {
+		if !derived[f] {
+			derived[f] = true
+			queue = append(queue, f)
+		}
+	}
+	for f := range kept {
+		push(f)
+	}
+	push(restored)
+	for _, f := range x.seeds {
+		push(f)
+	}
+	for len(queue) > 0 {
+		g := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ri := range x.watchers[g] {
+			pending[ri]--
+			if pending[ri] == 0 {
+				push(x.rules[ri].head)
 			}
 		}
-		for f := range kept {
-			push(f)
-		}
-		push(restored)
-		for _, f := range seeds {
-			push(f)
-		}
-		for len(queue) > 0 {
-			g := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			for _, ri := range watchers[g] {
-				pending[ri]--
-				if pending[ri] == 0 {
-					push(rules[ri].head)
-				}
+	}
+	for _, vi := range e.coveredViolations {
+		realized := true
+		for _, b := range e.prov.Violations[vi].Body {
+			if e.state(b) == factVar && !derived[b] {
+				realized = false
+				break
 			}
 		}
-		for _, vi := range e.coveredViolations {
-			realized := true
-			for _, b := range e.prov.Violations[vi].Body {
-				if e.state(b) == factVar && !derived[b] {
-					realized = false
-					break
-				}
-			}
-			if realized {
-				return true
-			}
+		if realized {
+			return true
 		}
-		return false
+	}
+	return false
+}
+
+// acceptorWithIndex wires the maximality check onto a solver using a
+// prebuilt derivation index (nil index means nothing to check). learn,
+// when non-nil, receives each learned clause as positive base atoms so the
+// caller can replay it on later solvers over the same base program.
+func (e *encoder) acceptorWithIndex(x *maxIndex, s *asp.StableSolver, learn func([]asp.AtomID)) func(m []bool) [][]asp.Lit {
+	if x == nil {
+		return nil
 	}
 
 	// Bias the search toward keeping facts: maximal models first.
@@ -391,17 +439,10 @@ func (e *encoder) maximalityAcceptor(s *asp.StableSolver) func(m []bool) [][]asp
 		s.PreferTrue(atoms)
 	}
 
-	// All variable source facts (the always-kept ones seed every fixpoint).
-	var allSources []chase.FactID
-	for f := range e.r {
-		if e.prov.IsSource(f) {
-			allSources = append(allSources, f)
-		}
-	}
 	// keptExcept builds the kept-set with exactly the given facts deleted.
 	keptExcept := func(deleted map[chase.FactID]bool) map[chase.FactID]bool {
-		kept := make(map[chase.FactID]bool, len(allSources))
-		for _, g := range allSources {
+		kept := make(map[chase.FactID]bool, len(x.allSources))
+		for _, g := range x.allSources {
 			if !deleted[g] {
 				kept[g] = true
 			}
@@ -431,7 +472,7 @@ func (e *encoder) maximalityAcceptor(s *asp.StableSolver) func(m []bool) [][]asp
 			if s.Canceled() {
 				return nil // abandon refinement; the caller is timing out
 			}
-			if derivableWith(kept, f) {
+			if x.derivableWith(e, kept, f) {
 				continue // restoring f breaks something: deletion justified
 			}
 			// The model is not a repair: f could be restored harmlessly.
@@ -456,16 +497,23 @@ func (e *encoder) maximalityAcceptor(s *asp.StableSolver) func(m []bool) [][]asp
 						continue
 					}
 					delete(sup, g)
-					if derivableWith(keptExcept(sup), f) {
+					if x.derivableWith(e, keptExcept(sup), f) {
 						sup[g] = true // g is load-bearing; keep it in the clause
 					}
 				}
 			}
 			delete(sup, f)
-			clause := make([]asp.Lit, 0, len(sup)+1)
-			clause = append(clause, s.AtomLit(e.r[f], true))
+			atoms := make([]asp.AtomID, 0, len(sup)+1)
+			atoms = append(atoms, e.r[f])
 			for g := range sup {
-				clause = append(clause, s.AtomLit(e.r[g], true))
+				atoms = append(atoms, e.r[g])
+			}
+			if learn != nil {
+				learn(atoms)
+			}
+			clause := make([]asp.Lit, len(atoms))
+			for i, a := range atoms {
+				clause[i] = s.AtomLit(a, true)
 			}
 			learned = append(learned, clause)
 		}

@@ -1,8 +1,8 @@
 package xr
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/asp"
@@ -15,13 +15,17 @@ import (
 
 // MonolithicOptions tunes the monolithic pipeline.
 type MonolithicOptions struct {
+	// Ctx cancels the whole call; nil means context.Background().
+	Ctx context.Context
 	// Timeout bounds each query's solving time; zero means no limit.
 	// On timeout the query's Result carries ErrTimeout.
 	Timeout time.Duration
+	// Parallelism is the number of queries solved concurrently (each query
+	// is one independent program). Values below 2 run sequentially.
+	Parallelism int
+	// Trace, when non-nil, receives one event per program solved.
+	Trace func(TraceEvent)
 }
-
-// ErrTimeout is reported for queries that exceeded MonolithicOptions.Timeout.
-var ErrTimeout = fmt.Errorf("xr: query timed out")
 
 // Monolithic computes the XR-Certain answers of the queries using the
 // paper's Section 4/5.2 approach: per query, reduce the mapping to
@@ -31,32 +35,52 @@ var ErrTimeout = fmt.Errorf("xr: query timed out")
 //
 // As in the paper, the cost of the exchange (the chase) is embedded in
 // every individual query: the quasi-solution and grounding are recomputed
-// per query.
+// per query. A per-query timeout or a canceled call context is recorded in
+// that query's Result.Err (matching ErrTimeout / ErrCanceled under
+// errors.Is); only genuine failures surface as the call error.
 func Monolithic(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ, opts MonolithicOptions) ([]*Result, error) {
 	red, rqs, err := prepare(m, queries)
 	if err != nil {
 		return nil, err
 	}
+	o := (Options{Ctx: opts.Ctx, Parallelism: opts.Parallelism, Trace: opts.Trace}).serialized()
+	ctx, cancel := o.begin()
+	defer cancel()
+
 	results := make([]*Result, len(queries))
-	for i, q := range queries {
+	ferr := forEach(ctx, o.workers(), len(queries), func(ctx context.Context, i int) error {
 		start := time.Now()
-		res, err := monolithicOne(red.M, src, rqs[i], opts)
-		if err != nil && err != ErrTimeout {
-			return nil, fmt.Errorf("xr: query %s: %w", q.Name, err)
+		qctx := ctx
+		if opts.Timeout > 0 {
+			var qcancel context.CancelFunc
+			qctx, qcancel = context.WithTimeout(ctx, opts.Timeout)
+			defer qcancel()
 		}
-		res.Query = q
+		res, err := monolithicOne(qctx, red.M, src, rqs[i], o.Trace, queries[i].Name)
+		if err != nil && !isSentinel(err) {
+			return fmt.Errorf("xr: query %s: %w", queries[i].Name, err)
+		}
+		if cerr := ctxErr(ctx); cerr != nil {
+			return cerr // the whole call is canceled, not just this query
+		}
+		res.Query = queries[i]
 		res.Err = err
 		res.Stats.Duration = time.Since(start)
 		results[i] = res
+		return nil
+	})
+	if ferr != nil && !isSentinel(ferr) {
+		return nil, ferr
+	}
+	for i := range results {
+		if results[i] == nil { // skipped because the call was canceled
+			results[i] = &Result{Query: queries[i], Answers: cq.NewAnswerSet(), Err: ferr}
+		}
 	}
 	return results, nil
 }
 
-func monolithicOne(gm *mapping.Mapping, src *instance.Instance, rq *logic.UCQ, opts MonolithicOptions) (*Result, error) {
-	deadline := time.Time{}
-	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
-	}
+func monolithicOne(ctx context.Context, gm *mapping.Mapping, src *instance.Instance, rq *logic.UCQ, trace func(TraceEvent), qname string) (*Result, error) {
 	res := &Result{Answers: cq.NewAnswerSet()}
 	if len(rq.Clauses) == 0 {
 		return res, nil
@@ -66,12 +90,16 @@ func monolithicOne(gm *mapping.Mapping, src *instance.Instance, rq *logic.UCQ, o
 	if err != nil {
 		return nil, err
 	}
-	return solveProgram(prov, rq, func(chase.FactID) factState { return factVar }, res, deadline)
+	if cerr := ctxErr(ctx); cerr != nil {
+		return res, cerr
+	}
+	return solveProgram(ctx, prov, rq, func(chase.FactID) factState { return factVar }, res, trace, qname)
 }
 
 // solveProgram grounds the Figure 1 program over the given universe, adds
-// the query candidates, and runs cautious reasoning.
-func solveProgram(prov *chase.Provenance, rq *logic.UCQ, state func(chase.FactID) factState, res *Result, deadline time.Time) (*Result, error) {
+// the query candidates, and runs cautious reasoning under ctx.
+func solveProgram(ctx context.Context, prov *chase.Provenance, rq *logic.UCQ, state func(chase.FactID) factState, res *Result, trace func(TraceEvent), qname string) (*Result, error) {
+	start := time.Now()
 	cands := collectCandidates(rq, prov)
 	res.Stats.Candidates += len(cands)
 	if len(cands) == 0 {
@@ -94,10 +122,33 @@ func solveProgram(prov *chase.Provenance, rq *logic.UCQ, state func(chase.FactID
 	res.Stats.GroundAtoms += enc.gp.NumAtoms()
 
 	solver := asp.NewStableSolver(enc.gp)
+	solver.SetContext(ctx)
 	solver.Acceptor = enc.maximalityAcceptor(solver)
-	kept, hasModel := cautiousWithDeadline(solver, atoms, deadline)
-	if kept == nil {
-		return res, ErrTimeout
+	kept, hasModel := solver.Cautious(atoms)
+	if trace != nil {
+		trace(TraceEvent{
+			Engine:           "monolithic",
+			Query:            qname,
+			Candidates:       len(atoms),
+			Atoms:            enc.gp.NumAtoms(),
+			Rules:            len(enc.gp.Rules),
+			CandidatesTested: solver.CandidatesTested,
+			StabilityFails:   solver.StabilityFails,
+			LoopsLearned:     solver.LoopsLearned,
+			TheoryRejects:    solver.TheoryRejects,
+			Conflicts:        solver.SatConflicts(),
+			Propagations:     solver.SatPropagations(),
+			Duration:         time.Since(start),
+		})
+	}
+	if solver.Canceled() {
+		// The search was cut short: Cautious's partial narrowing must not
+		// be trusted (it over-approximates). Report the sentinel; Answers
+		// hold only what was decided before solving began.
+		if cerr := ctxErr(ctx); cerr != nil {
+			return res, cerr
+		}
+		return res, ErrCanceled
 	}
 	if !hasModel {
 		return nil, fmt.Errorf("xr: internal error: program has no stable model (repairs always exist)")
@@ -113,36 +164,4 @@ func solveProgram(prov *chase.Provenance, rq *logic.UCQ, state func(chase.FactID
 		}
 	}
 	return res, nil
-}
-
-// cautiousWithDeadline runs Cautious; a zero deadline means no limit.
-// It returns (nil, false) on timeout, cancelling the solver cooperatively
-// so the worker goroutine releases the CPU promptly.
-func cautiousWithDeadline(s *asp.StableSolver, atoms []asp.AtomID, deadline time.Time) ([]asp.AtomID, bool) {
-	if deadline.IsZero() {
-		kept, has := s.Cautious(atoms)
-		return kept, has
-	}
-	var cancel atomic.Bool
-	s.SetCancel(&cancel)
-	type out struct {
-		kept []asp.AtomID
-		has  bool
-	}
-	ch := make(chan out, 1)
-	go func() {
-		kept, has := s.Cautious(atoms)
-		ch <- out{kept, has}
-	}()
-	select {
-	case o := <-ch:
-		if s.Canceled() {
-			return nil, false
-		}
-		return o.kept, o.has
-	case <-time.After(time.Until(deadline)):
-		cancel.Store(true)
-		<-ch // wait for the worker to observe the flag and exit
-		return nil, false
-	}
 }

@@ -1,0 +1,200 @@
+package xr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors shared by every engine. They are wrapped with query
+// context when returned, so match with errors.Is.
+var (
+	// ErrTimeout reports that a query exceeded its solving budget (an
+	// Options.Timeout or a context deadline).
+	ErrTimeout = errors.New("xr: query timed out")
+	// ErrCanceled reports that the caller's context was canceled.
+	ErrCanceled = errors.New("xr: query canceled")
+	// ErrNoSolution reports that an instance admits no solution where one
+	// is required (e.g. materializing an inconsistent instance).
+	ErrNoSolution = errors.New("xr: instance has no solution")
+	// ErrTooLarge reports that an instance exceeds the brute-force engine's
+	// exhaustive-enumeration bound.
+	ErrTooLarge = errors.New("xr: instance too large for brute force")
+)
+
+// Options tunes one query-phase call (Answer, Possible, Repairs,
+// Monolithic). The zero value means: background context, no timeout,
+// sequential solving, no tracing.
+type Options struct {
+	// Ctx cancels the call cooperatively; nil means context.Background().
+	Ctx context.Context
+	// Timeout bounds the call; zero means no limit. It composes with Ctx
+	// (whichever expires first wins).
+	Timeout time.Duration
+	// Parallelism is the number of independent programs solved
+	// concurrently (per-signature programs for the segmentary engine,
+	// per-query programs for the monolithic engine). Values below 2 select
+	// the sequential path. Results are deterministic at any setting.
+	Parallelism int
+	// Trace, when non-nil, receives one event per program solved. Calls
+	// are serialized even when solving in parallel.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent reports per-program solver diagnostics (the programmatic
+// replacement for the old XR_DEBUG_SOLVER stderr dump).
+type TraceEvent struct {
+	Engine    string // "segmentary", "segmentary-brave", "monolithic", "repairs"
+	Query     string // query name, when applicable
+	Signature []int  // cluster signature (segmentary engines only)
+
+	Candidates int  // candidate atoms wired into this program
+	Atoms      int  // ground atoms
+	Rules      int  // ground rules
+	CacheHit   bool // signature program served from the Exchange cache
+
+	CandidatesTested int // classical models tested for stability
+	StabilityFails   int
+	LoopsLearned     int
+	TheoryRejects    int // models rejected by the maximality check
+	Conflicts        int64
+	Propagations     int64
+
+	Duration time.Duration
+}
+
+// workers returns the effective worker count.
+func (o *Options) workers() int {
+	if o.Parallelism < 2 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// begin resolves the call context, applying Timeout. The returned cancel
+// must be called to release the timer.
+func (o *Options) begin() (context.Context, context.CancelFunc) {
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Timeout > 0 {
+		return context.WithTimeout(ctx, o.Timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// serialized returns a copy of o whose Trace hook is safe to invoke from
+// concurrent workers.
+func (o Options) serialized() Options {
+	if o.Trace == nil {
+		return o
+	}
+	var mu sync.Mutex
+	inner := o.Trace
+	o.Trace = func(ev TraceEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		inner(ev)
+	}
+	return o
+}
+
+// ctxErr maps a done context to the matching sentinel (nil if not done).
+func ctxErr(ctx context.Context) error {
+	switch ctx.Err() {
+	case context.DeadlineExceeded:
+		return ErrTimeout
+	case context.Canceled:
+		return ErrCanceled
+	}
+	return nil
+}
+
+// isSentinel reports whether err is a cancellation sentinel (as opposed to
+// a genuine engine failure).
+func isSentinel(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled)
+}
+
+// forEach runs fn(ctx, i) for every i in [0, n) across at most workers
+// goroutines. New work stops being issued once ctx is done or an fn
+// returns an error; work already completed for other indexes is kept by
+// the caller. All goroutines have exited when forEach returns (no leaks).
+// Genuine errors take precedence over cancellation sentinels; ties break
+// toward the lowest index, keeping the reported error deterministic.
+func forEach(ctx context.Context, workers, n int, fn func(context.Context, int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			if errs[i] = fn(ctx, i); errs[i] != nil {
+				break
+			}
+		}
+		return poolError(ctx, errs)
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				if err := fn(wctx, i); err != nil {
+					errs[i] = err
+					cancel() // stop issuing work; siblings drain promptly
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return poolError(ctx, errs)
+}
+
+// poolError resolves the pool's representative error. A done parent
+// context with no recorded job error (work was skipped, not failed) still
+// reports the cancellation sentinel, so a caller never sees a nil error
+// alongside incomplete results.
+func poolError(ctx context.Context, errs []error) error {
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	return ctxErr(ctx)
+}
+
+// firstError picks the deterministic representative error: the
+// lowest-index genuine error if any, else the lowest-index sentinel.
+func firstError(errs []error) error {
+	var sentinel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !isSentinel(err) {
+			return err
+		}
+		if sentinel == nil {
+			sentinel = err
+		}
+	}
+	return sentinel
+}

@@ -1,10 +1,11 @@
 package xr
 
 import (
+	"context"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/asp"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/logic"
 	"repro/internal/mapping"
+	"repro/internal/symtab"
 )
 
 // Cluster is a violation cluster (Definition 8, approximated per
@@ -63,6 +65,11 @@ type Exchange struct {
 	// contains it.
 	clustersOf map[chase.FactID][]int
 
+	// progCache holds one cached signature program per canonical signature
+	// key (see sigcache.go). Guarded by progMu; safe for concurrent queries.
+	progMu    sync.Mutex
+	progCache map[string]*sigProgram
+
 	Stats ExchangeStats
 }
 
@@ -88,6 +95,7 @@ func NewExchange(m *mapping.Mapping, src *instance.Instance) (*Exchange, error) 
 		Prov:       prov,
 		suspect:    make(map[chase.FactID]bool),
 		clustersOf: make(map[chase.FactID][]int),
+		progCache:  make(map[string]*sigProgram),
 	}
 
 	// Support closure per violation; cluster by overlapping source envelopes
@@ -197,7 +205,49 @@ func (ex *Exchange) Consistent() bool { return len(ex.Prov.Violations) == 0 }
 // quasi-solution, safe candidates are accepted immediately, and the rest
 // are grouped by fact signature and decided by one small DLP per signature.
 func (ex *Exchange) Answer(q *logic.UCQ) (*Result, error) {
+	return ex.AnswerOpts(q, Options{})
+}
+
+// AnswerOpts is Answer with per-call Options (context, timeout,
+// parallelism, tracing). A canceled or expired context yields an error
+// matching ErrCanceled / ErrTimeout under errors.Is.
+func (ex *Exchange) AnswerOpts(q *logic.UCQ, opts Options) (*Result, error) {
+	return ex.query(q, false, opts)
+}
+
+// Possible computes the XR-Possible answers of one query: the tuples that
+// hold in at least one XR-solution (the union rather than the intersection
+// over exchange-repair solutions — the "possible answers" dual studied in
+// the inconsistency-tolerance literature). Certain answers are possible by
+// definition, so safe candidates are accepted outright; the remaining
+// candidates are decided by brave reasoning over the same per-signature
+// programs the certain-answer path uses.
+func (ex *Exchange) Possible(q *logic.UCQ) (*Result, error) {
+	return ex.PossibleOpts(q, Options{})
+}
+
+// PossibleOpts is Possible with per-call Options.
+func (ex *Exchange) PossibleOpts(q *logic.UCQ, opts Options) (*Result, error) {
+	return ex.query(q, true, opts)
+}
+
+// query is the shared segmentary query phase: partition candidates into
+// safe-accepted and signature groups, solve one program per signature
+// (cautious for certain answers, brave for possible answers) across a
+// bounded worker pool, and merge the outcomes in canonical key order.
+//
+// Results are deterministic at any parallelism: the answer set is merge-
+// order independent (AnswerSet iterates in sorted key order) and every
+// per-group stat is a pure function of the group, so totals agree with the
+// sequential path. Cautious/brave consequences are semantically determined
+// by the program, so learned-clause replay and solver scheduling can only
+// change solving effort, never the answers.
+func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, error) {
 	start := time.Now()
+	opts = opts.serialized()
+	ctx, cancel := opts.begin()
+	defer cancel()
+
 	rq, err := ex.Red.RewriteQuery(q)
 	if err != nil {
 		return nil, err
@@ -213,6 +263,7 @@ func (ex *Exchange) Answer(q *logic.UCQ) (*Result, error) {
 
 	// Partition candidates: safe-accepted vs signature groups.
 	groups := make(map[string]*sigGroup)
+	keys := make([]string, 0, len(groups))
 	for _, c := range cands {
 		if ex.safeCandidate(c) {
 			res.Answers.Add(c.tuple)
@@ -224,97 +275,129 @@ func (ex *Exchange) Answer(q *logic.UCQ) (*Result, error) {
 		if !ok {
 			g = &sigGroup{sig: sig}
 			groups[key] = g
+			keys = append(keys, key)
 		}
 		g.cands = append(g.cands, c)
 	}
-
-	// Solve one program per signature.
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
 	sort.Strings(keys)
-	for _, k := range keys {
-		if err := ex.solveGroup(groups[k], res); err != nil {
-			return nil, fmt.Errorf("xr: query %s: %w", q.Name, err)
+
+	// Solve one program per signature, fanning out across the pool.
+	outcomes := make([]*groupOutcome, len(keys))
+	ferr := forEach(ctx, opts.workers(), len(keys), func(ctx context.Context, i int) error {
+		out, err := ex.solveSig(ctx, keys[i], groups[keys[i]], brave, &opts, q.Name)
+		if err != nil {
+			return err
+		}
+		outcomes[i] = out
+		return nil
+	})
+	if ferr != nil {
+		return nil, fmt.Errorf("xr: query %s: %w", q.Name, ferr)
+	}
+	for _, out := range outcomes {
+		for _, t := range out.tuples {
+			res.Answers.Add(t)
+		}
+		res.Stats.SolverAccepted += len(out.tuples)
+		res.Stats.Programs++
+		res.Stats.GroundRules += out.rules
+		res.Stats.GroundAtoms += out.atoms
+		if out.cacheHit {
+			res.Stats.CacheHits++
 		}
 	}
 	return res, nil
 }
 
-// Possible computes the XR-Possible answers of one query: the tuples that
-// hold in at least one XR-solution (the union rather than the intersection
-// over exchange-repair solutions — the "possible answers" dual studied in
-// the inconsistency-tolerance literature). Certain answers are possible by
-// definition, so safe candidates are accepted outright; the remaining
-// candidates are decided by brave reasoning over the same per-signature
-// programs the certain-answer path uses.
-func (ex *Exchange) Possible(q *logic.UCQ) (*Result, error) {
+// groupOutcome is the result of solving one signature group, merged into
+// the Result after all groups finish.
+type groupOutcome struct {
+	tuples   [][]symtab.Value
+	rules    int
+	atoms    int
+	cacheHit bool
+}
+
+// solveSig solves one signature group: fetch (or build) the cached base
+// program, specialize a clone with this query's candidates, replay the
+// maximality clauses learned so far, and run cautious or brave reasoning
+// on a fresh solver.
+func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, qname string) (*groupOutcome, error) {
 	start := time.Now()
-	rq, err := ex.Red.RewriteQuery(q)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Query: q, Answers: cq.NewAnswerSet()}
-	defer func() { res.Stats.Duration = time.Since(start) }()
+	sp, hit := ex.sigProgramFor(key)
+	sp.ensure(ex, g.sig)
 
-	if len(rq.Clauses) == 0 {
-		return res, nil
-	}
-	cands := collectCandidates(rq, ex.Prov)
-	res.Stats.Candidates = len(cands)
-
-	groups := make(map[string]*sigGroup)
-	for _, c := range cands {
-		if ex.safeCandidate(c) {
-			res.Answers.Add(c.tuple)
-			res.Stats.SafeAccepted++
+	spec := sp.enc.specialize()
+	atoms := make([]asp.AtomID, 0, len(g.cands))
+	live := make([]*candidate, 0, len(g.cands))
+	for _, c := range g.cands {
+		qa, any := spec.addCandidate(c)
+		if !any {
 			continue
 		}
-		key, sig := ex.signature(c)
-		g, ok := groups[key]
-		if !ok {
-			g = &sigGroup{sig: sig}
-			groups[key] = g
-		}
-		g.cands = append(g.cands, c)
+		atoms = append(atoms, qa)
+		live = append(live, c)
 	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if err := ex.solveGroupBrave(groups[k], res); err != nil {
-			return nil, fmt.Errorf("xr: query %s: %w", q.Name, err)
-		}
-	}
-	return res, nil
-}
 
-// solveGroupBrave mirrors solveGroup with brave instead of cautious
-// reasoning.
-func (ex *Exchange) solveGroupBrave(g *sigGroup, res *Result) error {
-	enc, solver, atoms, live := ex.prepareGroup(g)
-	res.Stats.Programs++
-	res.Stats.GroundRules += len(enc.gp.Rules)
-	res.Stats.GroundAtoms += enc.gp.NumAtoms()
+	solver := asp.NewStableSolver(spec.gp)
+	solver.SetContext(ctx)
+	sp.replayInto(solver)
+	solver.Acceptor = spec.acceptorWithIndex(sp.idx, solver, sp.addLearned)
 
-	kept, hasModel := solver.Brave(atoms)
+	var kept []asp.AtomID
+	var hasModel bool
+	if brave {
+		kept, hasModel = solver.Brave(atoms)
+	} else {
+		kept, hasModel = solver.Cautious(atoms)
+	}
+	if solver.Canceled() {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return nil, ErrCanceled
+	}
 	if !hasModel {
-		return fmt.Errorf("internal error: signature program has no stable model")
+		return nil, fmt.Errorf("internal error: signature program has no stable model")
 	}
+
 	keptSet := make(map[asp.AtomID]bool, len(kept))
 	for _, a := range kept {
 		keptSet[a] = true
 	}
+	out := &groupOutcome{
+		rules:    len(spec.gp.Rules),
+		atoms:    spec.gp.NumAtoms(),
+		cacheHit: hit,
+	}
 	for i, c := range live {
 		if keptSet[atoms[i]] {
-			res.Answers.Add(c.tuple)
-			res.Stats.SolverAccepted++
+			out.tuples = append(out.tuples, c.tuple)
 		}
 	}
-	return nil
+	if opts.Trace != nil {
+		engine := "segmentary"
+		if brave {
+			engine = "segmentary-brave"
+		}
+		opts.Trace(TraceEvent{
+			Engine:           engine,
+			Query:            qname,
+			Signature:        g.sig,
+			Candidates:       len(atoms),
+			Atoms:            out.atoms,
+			Rules:            out.rules,
+			CacheHit:         hit,
+			CandidatesTested: solver.CandidatesTested,
+			StabilityFails:   solver.StabilityFails,
+			LoopsLearned:     solver.LoopsLearned,
+			TheoryRejects:    solver.TheoryRejects,
+			Conflicts:        solver.SatConflicts(),
+			Propagations:     solver.SatPropagations(),
+			Duration:         time.Since(start),
+		})
+	}
+	return out, nil
 }
 
 type sigGroup struct {
@@ -363,82 +446,22 @@ func (ex *Exchange) signature(c *candidate) (string, []int) {
 	return strings.Join(parts, ","), sig
 }
 
-// prepareGroup builds the signature program (the restriction of the
-// Theorem 2 grounding to the signature's focus, with safe facts pinned
-// true — Theorem 4), shared by the cautious and brave query paths.
-func (ex *Exchange) prepareGroup(g *sigGroup) (*encoder, *asp.StableSolver, []asp.AtomID, []*candidate) {
-	focus := make(map[chase.FactID]bool)
-	for _, ci := range g.sig {
-		for f := range ex.Clusters[ci].Influence {
-			focus[f] = true
-		}
-	}
-	state := func(f chase.FactID) factState {
-		switch {
-		case ex.safeDerivable[f]:
-			return factTrue
-		case focus[f]:
-			return factVar
-		default:
-			return factAbsent
-		}
-	}
-	enc := newEncoder(ex.Prov, state)
-	enc.buildFocused(focus)
-
-	atoms := make([]asp.AtomID, 0, len(g.cands))
-	live := make([]*candidate, 0, len(g.cands))
-	for _, c := range g.cands {
-		qa, any := enc.addCandidate(c)
-		if !any {
-			continue
-		}
-		atoms = append(atoms, qa)
-		live = append(live, c)
-	}
-	solver := asp.NewStableSolver(enc.gp)
-	solver.Acceptor = enc.maximalityAcceptor(solver)
-	return enc, solver, atoms, live
-}
-
-// solveGroup solves one signature program and accepts the cautious
-// candidates.
-func (ex *Exchange) solveGroup(g *sigGroup, res *Result) error {
-	enc, solver, atoms, live := ex.prepareGroup(g)
-	res.Stats.Programs++
-	res.Stats.GroundRules += len(enc.gp.Rules)
-	res.Stats.GroundAtoms += enc.gp.NumAtoms()
-	kept, hasModel := solver.Cautious(atoms)
-	if debugSolver {
-		fmt.Printf("[xr] group sig=%v cands=%d atoms=%d rules=%d tested=%d fails=%d loops=%d conflicts=%d props=%d\n",
-			g.sig, len(atoms), enc.gp.NumAtoms(), len(enc.gp.Rules),
-			solver.CandidatesTested, solver.StabilityFails, solver.LoopsLearned,
-			solver.SatConflicts(), solver.SatPropagations())
-	}
-	if !hasModel {
-		return fmt.Errorf("internal error: signature program has no stable model")
-	}
-	keptSet := make(map[asp.AtomID]bool, len(kept))
-	for _, a := range kept {
-		keptSet[a] = true
-	}
-	for i, c := range live {
-		if keptSet[atoms[i]] {
-			res.Answers.Add(c.tuple)
-			res.Stats.SolverAccepted++
-		}
-	}
-	return nil
-}
-
-// debugSolver enables per-signature solver diagnostics on stderr.
-var debugSolver = os.Getenv("XR_DEBUG_SOLVER") != ""
-
 // Repairs enumerates up to limit source repairs of the instance (0 = all)
 // using the solver, without the exponential subset scan of SourceRepairs.
 // Repairs are returned as source instances; the safe part appears in every
 // repair, so enumeration effort is confined to the suspect envelope.
 func (ex *Exchange) Repairs(limit int) ([]*instance.Instance, error) {
+	return ex.RepairsOpts(limit, Options{})
+}
+
+// RepairsOpts is Repairs with per-call Options (context, timeout, tracing;
+// enumeration is a single solver run, so Parallelism has no effect).
+func (ex *Exchange) RepairsOpts(limit int, opts Options) ([]*instance.Instance, error) {
+	start := time.Now()
+	opts = opts.serialized()
+	ctx, cancel := opts.begin()
+	defer cancel()
+
 	// Variables only for the suspect part; everything safe is pinned.
 	state := func(f chase.FactID) factState {
 		if ex.safeDerivable[f] {
@@ -449,6 +472,7 @@ func (ex *Exchange) Repairs(limit int) ([]*instance.Instance, error) {
 	enc := newEncoder(ex.Prov, state)
 	enc.build()
 	solver := asp.NewStableSolver(enc.gp)
+	solver.SetContext(ctx)
 	solver.Acceptor = enc.maximalityAcceptor(solver)
 
 	// Safe source facts belong to every repair.
@@ -477,5 +501,25 @@ func (ex *Exchange) Repairs(limit int) ([]*instance.Instance, error) {
 		out = append(out, rep)
 		return limit == 0 || len(out) < limit
 	})
+	if solver.Canceled() {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("xr: repairs: %w", err)
+		}
+	}
+	if opts.Trace != nil {
+		opts.Trace(TraceEvent{
+			Engine:           "repairs",
+			Candidates:       len(srcVars),
+			Atoms:            enc.gp.NumAtoms(),
+			Rules:            len(enc.gp.Rules),
+			CandidatesTested: solver.CandidatesTested,
+			StabilityFails:   solver.StabilityFails,
+			LoopsLearned:     solver.LoopsLearned,
+			TheoryRejects:    solver.TheoryRejects,
+			Conflicts:        solver.SatConflicts(),
+			Propagations:     solver.SatPropagations(),
+			Duration:         time.Since(start),
+		})
+	}
 	return out, nil
 }

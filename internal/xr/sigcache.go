@@ -1,0 +1,123 @@
+package xr
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/asp"
+	"repro/internal/chase"
+)
+
+// sigProgram is one cached signature program: the base grounding of the
+// Theorem 4 sub-world restricted to a signature's focus, plus everything
+// learned about it so far. An Exchange keeps one entry per canonical
+// signature key, so repeated queries over the same exchange reuse the
+// grounding instead of re-encoding it.
+//
+// Reuse is safe because an Exchange is immutable after NewExchange: the
+// provenance, clusters, and safe split never change, so the base program
+// of a signature is a pure function of its key. Per-query candidate atoms
+// are wired into an independent clone of the base program (the shared atom
+// tables are frozen by buildFocused, so candidate wiring only reads them),
+// and each query gets a fresh solver — solver state is spent by
+// Cautious/Brave and is never shared.
+//
+// The maximality clauses learned by one query's acceptor ARE shared: each
+// clause r(f) ∨ ⋁ r(g) states a model-independent fact about the base
+// program's source repairs ("no repair deletes f together with all of
+// {g}"), so replaying it on a later solver over the same base program
+// prunes non-repairs without excluding any repair.
+type sigProgram struct {
+	build sync.Once
+	enc   *encoder  // frozen base encoder (program without candidates)
+	idx   *maxIndex // derivation index for the maximality acceptor
+
+	mu      sync.Mutex
+	seen    map[string]bool
+	learned [][]asp.AtomID // all-positive clauses over base "remains" atoms
+}
+
+// sigProgramFor returns the cache entry for a canonical signature key,
+// reporting whether it already existed (a hit reuses the base grounding
+// and the maximality clauses learned so far).
+func (ex *Exchange) sigProgramFor(key string) (*sigProgram, bool) {
+	ex.progMu.Lock()
+	defer ex.progMu.Unlock()
+	if sp, ok := ex.progCache[key]; ok {
+		return sp, true
+	}
+	sp := &sigProgram{seen: make(map[string]bool)}
+	if ex.progCache == nil {
+		ex.progCache = make(map[string]*sigProgram)
+	}
+	ex.progCache[key] = sp
+	return sp, false
+}
+
+// ensure builds the base signature program exactly once per entry: the
+// restriction of the Theorem 2 grounding to the signature's focus, with
+// safe facts pinned true (Theorem 4).
+func (sp *sigProgram) ensure(ex *Exchange, sig []int) {
+	sp.build.Do(func() {
+		focus := make(map[chase.FactID]bool)
+		for _, ci := range sig {
+			for f := range ex.Clusters[ci].Influence {
+				focus[f] = true
+			}
+		}
+		state := func(f chase.FactID) factState {
+			switch {
+			case ex.safeDerivable[f]:
+				return factTrue
+			case focus[f]:
+				return factVar
+			default:
+				return factAbsent
+			}
+		}
+		enc := newEncoder(ex.Prov, state)
+		enc.buildFocused(focus)
+		sp.enc = enc
+		sp.idx = newMaxIndex(enc)
+	})
+}
+
+// addLearned records one maximality clause for replay. Clauses arrive as
+// positive base atoms; duplicates are dropped.
+func (sp *sigProgram) addLearned(clause []asp.AtomID) {
+	c := append([]asp.AtomID(nil), clause...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	var b strings.Builder
+	for i, a := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(itoa(int(a)))
+	}
+	key := b.String()
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.seen[key] {
+		return
+	}
+	sp.seen[key] = true
+	sp.learned = append(sp.learned, c)
+}
+
+// replayInto installs the learned maximality clauses on a fresh solver
+// over a clone of the base program. Base atoms keep their ids across
+// clones (clones only append), so the stored atom ids remain valid.
+func (sp *sigProgram) replayInto(s *asp.StableSolver) int {
+	sp.mu.Lock()
+	snapshot := sp.learned[:len(sp.learned):len(sp.learned)]
+	sp.mu.Unlock()
+	for _, c := range snapshot {
+		lits := make([]asp.Lit, len(c))
+		for i, a := range c {
+			lits[i] = s.AtomLit(a, true)
+		}
+		s.AddTheoryClause(lits)
+	}
+	return len(snapshot)
+}

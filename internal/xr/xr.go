@@ -46,6 +46,7 @@ type QueryStats struct {
 	Programs       int // DLP programs solved
 	GroundRules    int // total ground rules across programs
 	GroundAtoms    int // total ground atoms across programs
+	CacheHits      int // programs served from the signature-program cache
 	Duration       time.Duration
 }
 

@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"repro/internal/xr"
+)
+
+// Typed sentinel errors returned (possibly wrapped) by the query engines;
+// match them with errors.Is.
+var (
+	// ErrTimeout reports that a query exceeded its WithTimeout budget or a
+	// context deadline.
+	ErrTimeout = xr.ErrTimeout
+	// ErrCanceled reports that a WithContext context was canceled.
+	ErrCanceled = xr.ErrCanceled
+	// ErrNoSolution reports that an instance admits no solution where one
+	// is required (Materialize on an inconsistent instance).
+	ErrNoSolution = xr.ErrNoSolution
+	// ErrTooLarge reports that an instance exceeds the brute-force engines'
+	// exhaustive-enumeration bound (22 source facts).
+	ErrTooLarge = xr.ErrTooLarge
+)
+
+// TraceEvent is one per-program solver diagnostic record delivered to a
+// WithSolverTrace hook; see the fields for the available counters.
+type TraceEvent = xr.TraceEvent
+
+// Option tunes one query call (Exchange.Answer / Possible / Repairs,
+// System.MonolithicAnswers).
+type Option func(*xr.Options)
+
+// WithContext attaches a context to the call: cancellation stops in-flight
+// solver work cooperatively and the call returns an error matching
+// ErrCanceled (or ErrTimeout for a deadline).
+func WithContext(ctx context.Context) Option {
+	return func(o *xr.Options) { o.Ctx = ctx }
+}
+
+// WithTimeout bounds the call's solving time; it composes with WithContext
+// (whichever expires first wins). Zero means no limit.
+func WithTimeout(d time.Duration) Option {
+	return func(o *xr.Options) { o.Timeout = d }
+}
+
+// WithParallelism solves up to n independent programs concurrently —
+// per-signature programs for the segmentary engine, per-query programs for
+// the monolithic engine. n <= 0 selects GOMAXPROCS. Answers and stats
+// totals are identical to a sequential run at any setting.
+func WithParallelism(n int) Option {
+	return func(o *xr.Options) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		o.Parallelism = n
+	}
+}
+
+// WithSolverTrace installs a hook receiving one TraceEvent per program
+// solved (candidates tested, loops learned, conflicts, cache hits, ...).
+// The hook is called serially even when solving in parallel.
+func WithSolverTrace(f func(TraceEvent)) Option {
+	return func(o *xr.Options) { o.Trace = f }
+}
+
+// buildOptions folds the options into the engine-level struct.
+func buildOptions(opts []Option) xr.Options {
+	var o xr.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}

@@ -1,0 +1,301 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The Theorem 3 hardness gadget (see examples/tricolor): G is 3-colorable
+// iff the boolean query over Fsrc is NOT XR-Certain.
+const tricolorGadget = `
+source E(x, y, u, v).
+source Cr(x).
+source Cg(x).
+source Cb(x).
+source F(u, v).
+target E1(x, y).
+target F1(u, v).
+target Fsrc(u, v).
+target Cr1(x).
+target Cg1(x).
+target Cb1(x).
+
+tgd E(x, y, u, v) & Cr(x) -> E1(x, y).
+tgd E(x, y, u, v) & Cg(x) -> E1(x, y).
+tgd E(x, y, u, v) & Cb(x) -> E1(x, y).
+tgd E(x, y, u, v) & Cr(x) -> F1(u, v).
+tgd E(x, y, u, v) & Cg(x) -> F1(u, v).
+tgd E(x, y, u, v) & Cb(x) -> F1(u, v).
+tgd Cr(x) -> Cr1(x).
+tgd Cg(x) -> Cg1(x).
+tgd Cb(x) -> Cb1(x).
+tgd F(u, v) -> F1(u, v).
+tgd F(u, v) -> Fsrc(u, v).
+tgd trans: F1(u, v) & F1(v, w) -> F1(u, w).
+
+egd E1(x, y) & Cr1(x) & Cr1(y) & F1(u, v) -> u = v.
+egd E1(x, y) & Cg1(x) & Cg1(y) & F1(u, v) -> u = v.
+egd E1(x, y) & Cb1(x) & Cb1(y) & F1(u, v) -> u = v.
+egd F1(u, u) & F1(v, w) -> v = w.
+`
+
+// tricolorFacts renders the gadget instance for a graph whose edges are
+// already oriented with out-degree ≥ 1 everywhere.
+func tricolorFacts(edges [][2]string) string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	var vertices []string
+	for i, e := range edges {
+		fmt.Fprintf(&b, "E(%s, %s, n%d, n%d).\n", e[0], e[1], i+1, i+2)
+		for _, v := range e {
+			if !seen[v] {
+				seen[v] = true
+				vertices = append(vertices, v)
+			}
+		}
+	}
+	for _, v := range vertices {
+		fmt.Fprintf(&b, "Cr(%s). Cg(%s). Cb(%s).\n", v, v, v)
+	}
+	fmt.Fprintf(&b, "F(n%d, n1).\n", len(edges)+1)
+	return b.String()
+}
+
+func tricolorSetup(t *testing.T, edges [][2]string) (*Exchange, *Query) {
+	t.Helper()
+	sys, err := Load(tricolorGadget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sys.ParseFacts(tricolorFacts(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := sys.NewExchange(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := sys.ParseQueries(fmt.Sprintf("inAllRepairs() :- Fsrc(n%d, n1).", len(edges)+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, qs[0]
+}
+
+// Each vertex has out-degree ≥ 1 in these orientations.
+var (
+	// K4 is not 3-colorable: the query is certain.
+	k4Edges = [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"d", "a"}, {"b", "d"}, {"c", "d"}}
+	// C5 is 3-colorable: the query is not certain.
+	c5Edges = [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"}, {"e", "a"}}
+)
+
+// TestOptionsTricolorParallelEquivalence checks that the public options API
+// yields identical answers and stats at any parallelism on the hardness
+// gadget, for both decision outcomes.
+func TestOptionsTricolorParallelEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		edges   [][2]string
+		certain bool
+	}{
+		{"K4-not-3-colorable", k4Edges, true},
+		{"C5-3-colorable", c5Edges, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exSeq, q := tricolorSetup(t, tc.edges)
+			exPar, _ := tricolorSetup(t, tc.edges)
+
+			seq, err := exSeq.Answer(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := exPar.Answer(q, WithParallelism(0)) // 0 = GOMAXPROCS
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (len(seq.Tuples) == 1) != tc.certain {
+				t.Fatalf("certainty = %v, want %v", len(seq.Tuples) == 1, tc.certain)
+			}
+			if !reflect.DeepEqual(seq.Tuples, par.Tuples) {
+				t.Fatalf("tuples diverge: %v vs %v", seq.Tuples, par.Tuples)
+			}
+			seqStats, parStats := *seq, *par
+			seqStats.Duration, parStats.Duration = 0, 0
+			if !reflect.DeepEqual(seqStats, parStats) {
+				t.Fatalf("stats diverge:\nseq: %+v\npar: %+v", seqStats, parStats)
+			}
+
+			// The query is always possible: some repair keeps F.
+			poss, err := exPar.Possible(q, WithParallelism(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(poss.Tuples) != 1 {
+				t.Fatalf("possible = %v, want the empty tuple", poss.Tuples)
+			}
+		})
+	}
+}
+
+// TestOptionsCancellation checks the sentinel errors from every public
+// entry point under dead contexts and immediate timeouts.
+func TestOptionsCancellation(t *testing.T) {
+	sys, in, qs := setup(t)
+	ex, err := sys.NewExchange(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := ex.Answer(qs[0], WithContext(ctx)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Answer: err = %v, want ErrCanceled", err)
+	}
+	if _, err := ex.Possible(qs[0], WithContext(ctx), WithParallelism(4)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Possible: err = %v, want ErrCanceled", err)
+	}
+	if _, err := ex.Repairs(0, WithContext(ctx)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Repairs: err = %v, want ErrCanceled", err)
+	}
+	if _, err := ex.Answer(qs[0], WithTimeout(time.Nanosecond)); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Answer 1ns: err = %v, want ErrTimeout", err)
+	}
+
+	answers, errs, err := sys.MonolithicAnswers(in, qs, WithContext(ctx))
+	if err != nil {
+		t.Fatalf("MonolithicAnswers call error = %v, want nil", err)
+	}
+	for i := range qs {
+		if !errors.Is(errs[i], ErrCanceled) {
+			t.Fatalf("monolithic query %d: err = %v, want ErrCanceled", i, errs[i])
+		}
+		if answers[i] == nil {
+			t.Fatalf("monolithic query %d: nil answers", i)
+		}
+	}
+
+	// The exchange still answers normally afterwards.
+	ans, err := ex.Answer(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Tuples) != 1 {
+		t.Fatalf("post-cancel answers = %v", ans.Tuples)
+	}
+}
+
+// TestOptionsSolverTrace checks WithSolverTrace delivery and that a second
+// query on the same Exchange reports cache hits through both the stats and
+// the trace stream.
+func TestOptionsSolverTrace(t *testing.T) {
+	sys, in, qs := setup(t)
+	ex, err := sys.NewExchange(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []TraceEvent
+	a1, err := ex.Answer(qs[0], WithSolverTrace(func(ev TraceEvent) { first = append(first, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != a1.Programs || a1.Programs == 0 {
+		t.Fatalf("first run: %d events for %d programs", len(first), a1.Programs)
+	}
+	for _, ev := range first {
+		if ev.CacheHit {
+			t.Fatalf("first run reported a cache hit: %+v", ev)
+		}
+		if ev.Engine != "segmentary" || ev.Query != qs[0].Name() {
+			t.Fatalf("unexpected event metadata: %+v", ev)
+		}
+	}
+	var second []TraceEvent
+	a2, err := ex.Answer(qs[0], WithSolverTrace(func(ev TraceEvent) { second = append(second, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.CacheHits != a2.Programs || a2.CacheHits == 0 {
+		t.Fatalf("second run: cache hits %d of %d programs", a2.CacheHits, a2.Programs)
+	}
+	for _, ev := range second {
+		if !ev.CacheHit {
+			t.Fatalf("second run missed the cache: %+v", ev)
+		}
+	}
+	if !reflect.DeepEqual(a1.Tuples, a2.Tuples) {
+		t.Fatalf("cached answers diverge: %v vs %v", a1.Tuples, a2.Tuples)
+	}
+
+	// The monolithic engine traces too, and never hits the exchange cache.
+	var mono []TraceEvent
+	_, _, err = sys.MonolithicAnswers(in, qs, WithSolverTrace(func(ev TraceEvent) { mono = append(mono, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mono) == 0 {
+		t.Fatal("no monolithic trace events")
+	}
+	for _, ev := range mono {
+		if ev.Engine != "monolithic" || ev.CacheHit {
+			t.Fatalf("unexpected monolithic event: %+v", ev)
+		}
+	}
+}
+
+// TestErrTooLarge checks the brute-force engines refuse oversized instances
+// with the typed sentinel.
+func TestErrTooLarge(t *testing.T) {
+	sys, _, qs := setup(t)
+	var b strings.Builder
+	for i := 0; i < 12; i++ { // 24 source facts > the 22-fact bound
+		fmt.Fprintf(&b, "Observed(tx%d, 4). Curated(tx%d, 5).\n", i, i)
+	}
+	in, err := sys.ParseFacts(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SourceRepairs(in); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("SourceRepairs: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := sys.BruteForceAnswers(in, qs); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("BruteForceAnswers: err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestErrNoSolution checks Materialize reports the typed sentinel on
+// inconsistent instances.
+func TestErrNoSolution(t *testing.T) {
+	sys, in, _ := setup(t)
+	if _, err := sys.Materialize(in); !errors.Is(err, ErrNoSolution) {
+		t.Fatalf("Materialize: err = %v, want ErrNoSolution", err)
+	}
+}
+
+// TestMonolithicAnswersTimeoutShim checks the deprecated positional form
+// still works and agrees with the options form.
+func TestMonolithicAnswersTimeoutShim(t *testing.T) {
+	sys, in, qs := setup(t)
+	old, oldErrs, err := sys.MonolithicAnswersTimeout(in, qs, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, curErrs, err := sys.MonolithicAnswers(in, qs, WithTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if oldErrs[i] != nil || curErrs[i] != nil {
+			t.Fatalf("query %d errors: %v / %v", i, oldErrs[i], curErrs[i])
+		}
+		if !reflect.DeepEqual(old[i].Tuples, cur[i].Tuples) {
+			t.Fatalf("query %d: shim %v vs options %v", i, old[i].Tuples, cur[i].Tuples)
+		}
+	}
+}

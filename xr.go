@@ -121,7 +121,10 @@ type Answers struct {
 	SafeAccepted   int
 	SolverAccepted int
 	Programs       int
-	Duration       time.Duration
+	// CacheHits counts the programs served from the exchange's
+	// signature-program cache (always 0 for the monolithic engine).
+	CacheHits int
+	Duration  time.Duration
 }
 
 func (s *System) answersOf(res *xr.Result) *Answers {
@@ -130,6 +133,7 @@ func (s *System) answersOf(res *xr.Result) *Answers {
 		SafeAccepted:   res.Stats.SafeAccepted,
 		SolverAccepted: res.Stats.SolverAccepted,
 		Programs:       res.Stats.Programs,
+		CacheHits:      res.Stats.CacheHits,
 		Duration:       res.Stats.Duration,
 	}
 	for _, t := range res.Answers.Tuples() {
@@ -175,8 +179,12 @@ func (e *Exchange) SuspectFacts() int { return e.ex.SuspectSourceFacts() }
 func (e *Exchange) Stats() xr.ExchangeStats { return e.ex.Stats }
 
 // Answer computes the XR-Certain answers of q (segmentary query phase).
-func (e *Exchange) Answer(q *Query) (*Answers, error) {
-	res, err := e.ex.Answer(q.q)
+// Options tune the call: WithContext / WithTimeout for cancellation
+// (errors match ErrCanceled / ErrTimeout), WithParallelism to solve
+// signature programs concurrently, WithSolverTrace for diagnostics.
+// Repeated calls on the same Exchange reuse cached signature programs.
+func (e *Exchange) Answer(q *Query, opts ...Option) (*Answers, error) {
+	res, err := e.ex.AnswerOpts(q.q, buildOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -184,9 +192,10 @@ func (e *Exchange) Answer(q *Query) (*Answers, error) {
 }
 
 // Possible computes the XR-Possible answers of q: the tuples holding in at
-// least one exchange-repair solution (the union dual of XR-Certain).
-func (e *Exchange) Possible(q *Query) (*Answers, error) {
-	res, err := e.ex.Possible(q.q)
+// least one exchange-repair solution (the union dual of XR-Certain). It
+// accepts the same options as Answer and shares the same program cache.
+func (e *Exchange) Possible(q *Query, opts ...Option) (*Answers, error) {
+	res, err := e.ex.PossibleOpts(q.q, buildOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -196,9 +205,9 @@ func (e *Exchange) Possible(q *Query) (*Answers, error) {
 // Repairs enumerates up to limit source repairs (0 = all) using the
 // solver, rendered as fact files. Unlike SourceRepairs it scales past a
 // couple of dozen facts: the safe part is shared and only the suspect
-// envelope is searched.
-func (e *Exchange) Repairs(limit int) ([]string, error) {
-	repairs, err := e.ex.Repairs(limit)
+// envelope is searched. WithContext / WithTimeout bound the enumeration.
+func (e *Exchange) Repairs(limit int, opts ...Option) ([]string, error) {
+	repairs, err := e.ex.RepairsOpts(limit, buildOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -211,15 +220,23 @@ func (e *Exchange) Repairs(limit int) ([]string, error) {
 
 // MonolithicAnswers computes XR-Certain answers with the monolithic
 // pipeline: per query, the mapping is reduced, the instance chased, one
-// large disjunctive program built, and cautious reasoning run. timeout
-// bounds each query (zero = unlimited); timed-out queries report
-// ErrTimeout via Answers == nil entries in the error slice.
-func (s *System) MonolithicAnswers(i *Instance, queries []*Query, timeout time.Duration) ([]*Answers, []error, error) {
+// large disjunctive program built, and cautious reasoning run. WithTimeout
+// bounds each query individually; a timed-out query reports an error
+// matching ErrTimeout in the per-query error slice while its Answers stay
+// a (possibly empty) lower bound. WithParallelism solves queries
+// concurrently; WithContext cancels the whole call.
+func (s *System) MonolithicAnswers(i *Instance, queries []*Query, opts ...Option) ([]*Answers, []error, error) {
 	qs := make([]*logic.UCQ, len(queries))
 	for j, q := range queries {
 		qs[j] = q.q
 	}
-	results, err := xr.Monolithic(s.w.M, i.in, qs, xr.MonolithicOptions{Timeout: timeout})
+	o := buildOptions(opts)
+	results, err := xr.Monolithic(s.w.M, i.in, qs, xr.MonolithicOptions{
+		Ctx:         o.Ctx,
+		Timeout:     o.Timeout,
+		Parallelism: o.Parallelism,
+		Trace:       o.Trace,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -230,6 +247,13 @@ func (s *System) MonolithicAnswers(i *Instance, queries []*Query, timeout time.D
 		errs[j] = r.Err
 	}
 	return out, errs, nil
+}
+
+// MonolithicAnswersTimeout is the pre-options form of MonolithicAnswers.
+//
+// Deprecated: use MonolithicAnswers with WithTimeout.
+func (s *System) MonolithicAnswersTimeout(i *Instance, queries []*Query, timeout time.Duration) ([]*Answers, []error, error) {
+	return s.MonolithicAnswers(i, queries, WithTimeout(timeout))
 }
 
 // BruteForceAnswers computes XR-Certain answers by explicit source-repair
@@ -280,7 +304,7 @@ func (s *System) MappingStats() string {
 func (s *System) Materialize(i *Instance) (string, error) {
 	j, err := chase.Native(s.w.M, i.in)
 	if err != nil {
-		return "", fmt.Errorf("repro: instance has no solution: %w", err)
+		return "", fmt.Errorf("repro: %w: %v", ErrNoSolution, err)
 	}
 	target := j.Restrict(s.w.M.Target)
 	core := chase.Core(target)

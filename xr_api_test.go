@@ -95,7 +95,7 @@ func TestAPIEnginesAgree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	mono, errs, err := sys.MonolithicAnswers(in, qs, time.Minute)
+	mono, errs, err := sys.MonolithicAnswers(in, qs, WithTimeout(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
