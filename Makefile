@@ -1,9 +1,11 @@
 # Tier-1 gate: vet plus the full test suite under the race detector.
 # The parallel segmentary query phase and the signature-program cache are
 # exercised concurrently by the tests, so -race is part of the gate.
-.PHONY: check build test bench
+# check also builds every command so CLI-only breakage cannot slip past.
+.PHONY: check build test bench bench-smoke lint
 
 check:
+	go build ./cmd/...
 	go vet ./...
 	go test -race ./...
 
@@ -15,3 +17,18 @@ test:
 
 bench:
 	go test -bench=. -benchmem
+
+# bench-smoke regenerates the committed machine-readable report for the S3
+# genome profile at scale 0.1 (small enough for CI, large enough that the
+# instance is inconsistent and the solver counters are live).
+bench-smoke:
+	go run ./cmd/xrbench -json BENCH_S3.json -profile S3 -scale 0.1
+
+# lint runs staticcheck when it is installed and degrades gracefully when it
+# is not (the container image does not bake it in).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go vet runs in 'make check')"; \
+	fi

@@ -22,6 +22,7 @@ import (
 	"repro/internal/gavreduce"
 	"repro/internal/genome"
 	"repro/internal/logic"
+	"repro/internal/telemetry"
 	"repro/internal/xr"
 )
 
@@ -312,6 +313,43 @@ func BenchmarkSignatureCache(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTelemetryOverhead measures the warm-cache query path with
+// telemetry disabled (nil registry: every meter update is a nil-receiver
+// no-op) against the same path with a live registry. The disabled variant is
+// the baseline the rest of the suite runs under; it must stay within noise
+// of pre-telemetry performance, and the enabled variant bounds the cost of
+// turning metrics on.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	w, err := genome.NewWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := genome.ProfileByName("L20", benchScale())
+	src := genome.Generate(w, p)
+	qs, err := genome.Queries(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep2 := qs[1]
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		ex, err := xr.NewExchangeOpts(w.M, src, xr.Options{Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex.Answer(ep2); err != nil { // warm the program cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Answer(ep2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
 }
 
 // BenchmarkStableSolver3Coloring measures stable-model enumeration on a

@@ -4,10 +4,18 @@
 // Usage:
 //
 //	xrbench [-experiment all] [-scale 0.1] [-mono-timeout 60s] [-parallel 1] [-quiet]
+//	xrbench -json BENCH_S3.json [-profile S3] [-scale 0.1] [-parallel 1]
 //
 // Experiments: table1 table2 table3 table4 fig3a fig3b fig4a fig4b
 // reduction speedup all. -scale 1 selects paper-sized instances (slow);
 // the default 0.1 runs the complete grid in minutes.
+//
+// With -json, xrbench instead runs the segmentary pipeline on one genome
+// profile (-profile, default S3) and writes a machine-readable report to
+// the given path: host info, exchange-phase stats (the Table 4 columns),
+// per-query wall times, and the full telemetry snapshot with solver
+// counters. -metrics-addr additionally serves Prometheus/expvar/pprof
+// during either mode.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/benchkit"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,18 +38,21 @@ func main() {
 		monoTimeout = flag.Duration("mono-timeout", 60*time.Second, "per-query timeout for monolithic runs")
 		parallel    = flag.Int("parallel", 1, "programs solved concurrently per call (0 = GOMAXPROCS)")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		jsonPath    = flag.String("json", "", "write a machine-readable report to this path instead of running experiments")
+		profile     = flag.String("profile", "S3", "genome profile for the -json report (S3, M3, L0, L3, L9, L20, F3)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus/expvar/pprof on this address during the run (empty = off)")
 	)
 	flag.Parse()
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	if err := run(*experiment, *scale, *monoTimeout, *parallel, *quiet); err != nil {
+	if err := run(*experiment, *scale, *monoTimeout, *parallel, *quiet, *jsonPath, *profile, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "xrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, scale float64, monoTimeout time.Duration, parallel int, quiet bool) error {
+func run(experiment string, scale float64, monoTimeout time.Duration, parallel int, quiet bool, jsonPath, profile, metricsAddr string) error {
 	r, err := benchkit.NewRunner(scale, monoTimeout)
 	if err != nil {
 		return err
@@ -48,6 +60,18 @@ func run(experiment string, scale float64, monoTimeout time.Duration, parallel i
 	r.Parallelism = parallel
 	if !quiet {
 		r.Progress = os.Stderr
+	}
+	if metricsAddr != "" {
+		r.Metrics = telemetry.NewRegistry()
+		srv, err := telemetry.Serve(metricsAddr, r.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "xrbench: metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if jsonPath != "" {
+		return writeReport(r, profile, jsonPath)
 	}
 	type exp struct {
 		name string
@@ -89,5 +113,27 @@ func run(experiment string, scale float64, monoTimeout time.Duration, parallel i
 	if ran == 0 {
 		return fmt.Errorf("no experiment matched %q", experiment)
 	}
+	return nil
+}
+
+// writeReport runs the segmentary pipeline on one profile and writes the
+// machine-readable report.
+func writeReport(r *benchkit.Runner, profile, path string) error {
+	rep, err := r.Report(profile)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xrbench: wrote %s (profile %s, %d queries)\n", path, profile, len(rep.Queries))
 	return nil
 }

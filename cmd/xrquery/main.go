@@ -6,7 +6,12 @@
 //
 //	xrquery -mapping m.map -facts i.facts -queries q.dl \
 //	        [-engine seg|mono|brute] [-timeout 60s] [-parallel N] \
-//	        [-stats] [-trace] [-possible]
+//	        [-stats] [-trace] [-possible] [-metrics-addr :9090]
+//
+// With -metrics-addr, an HTTP endpoint serves /metrics (Prometheus text),
+// /metrics.json (deterministic snapshot), /debug/vars (expvar), and
+// /debug/pprof/ for the duration of the run; a telemetry summary is
+// printed to stderr on exit.
 package main
 
 import (
@@ -22,12 +27,16 @@ import (
 
 // config collects the command-line options.
 type config struct {
-	engine   string
-	timeout  time.Duration
-	parallel int
-	stats    bool
-	trace    bool
-	possible bool
+	engine      string
+	timeout     time.Duration
+	parallel    int
+	stats       bool
+	trace       bool
+	possible    bool
+	metricsAddr string
+
+	// metrics is the run's registry, non-nil when metricsAddr is set.
+	metrics *repro.Metrics
 }
 
 func main() {
@@ -43,6 +52,7 @@ func main() {
 	flag.BoolVar(&cfg.stats, "stats", false, "print per-query statistics")
 	flag.BoolVar(&cfg.trace, "trace", false, "print per-program solver diagnostics to stderr")
 	flag.BoolVar(&cfg.possible, "possible", false, "also print XR-Possible answers (segmentary engine only)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve Prometheus/expvar/pprof on this address (e.g. :9090; empty = off)")
 	flag.Parse()
 	if *mappingPath == "" || *factsPath == "" || *queriesPath == "" {
 		flag.Usage()
@@ -66,16 +76,36 @@ func (c config) queryOptions() []repro.Option {
 	if c.trace {
 		opts = append(opts, repro.WithSolverTrace(func(ev repro.TraceEvent) {
 			fmt.Fprintf(os.Stderr,
-				"[%s] query=%s sig=%v cands=%d atoms=%d rules=%d cached=%v tested=%d fails=%d loops=%d rejects=%d conflicts=%d props=%d in %v\n",
+				"[%s] query=%s sig=%v cands=%d atoms=%d rules=%d cached=%v tested=%d fails=%d loops=%d rejects=%d decisions=%d conflicts=%d props=%d restarts=%d in %v\n",
 				ev.Engine, ev.Query, ev.Signature, ev.Candidates, ev.Atoms, ev.Rules,
 				ev.CacheHit, ev.CandidatesTested, ev.StabilityFails, ev.LoopsLearned,
-				ev.TheoryRejects, ev.Conflicts, ev.Propagations, ev.Duration)
+				ev.TheoryRejects, ev.Decisions, ev.Conflicts, ev.Propagations,
+				ev.Restarts, ev.Duration)
 		}))
+	}
+	if c.metrics != nil {
+		opts = append(opts, repro.WithMetrics(c.metrics))
 	}
 	return opts
 }
 
 func run(mappingPath, factsPath, queriesPath string, cfg config) error {
+	if cfg.metricsAddr != "" {
+		cfg.metrics = repro.NewMetrics()
+		srv, err := repro.ServeMetrics(cfg.metricsAddr, cfg.metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "xrquery: metrics on http://%s/metrics\n", srv.Addr())
+		defer func() {
+			snap := cfg.metrics.Snapshot()
+			fmt.Fprintf(os.Stderr, "xrquery: telemetry: programs=%d decisions=%d conflicts=%d propagations=%d restarts=%d\n",
+				snap.Counters["xr_programs_total"], snap.Counters["xr_solver_decisions_total"],
+				snap.Counters["xr_solver_conflicts_total"], snap.Counters["xr_solver_propagations_total"],
+				snap.Counters["xr_solver_restarts_total"])
+		}()
+	}
 	sys, err := loadSystem(mappingPath)
 	if err != nil {
 		return err
@@ -103,7 +133,7 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) error {
 	opts := cfg.queryOptions()
 	switch cfg.engine {
 	case "seg":
-		ex, err := sys.NewExchange(in)
+		ex, err := sys.NewExchange(in, opts...)
 		if err != nil {
 			return err
 		}
@@ -138,7 +168,7 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) error {
 			printAnswers(q.Name(), answers[i], cfg.stats)
 		}
 	case "brute":
-		answers, err := sys.BruteForceAnswers(in, queries)
+		answers, err := sys.BruteForceAnswers(in, queries, opts...)
 		if err != nil {
 			return err
 		}

@@ -43,6 +43,22 @@ func TestRunAllEngines(t *testing.T) {
 	}
 }
 
+// TestRunWithMetrics exercises the -metrics-addr path: the registry is
+// created, the HTTP server binds an ephemeral port, and the run completes
+// with the telemetry summary on exit.
+func TestRunWithMetrics(t *testing.T) {
+	m, f, q := fixtureFiles(t)
+	for _, engine := range []string{"seg", "mono", "brute"} {
+		cfg := config{engine: engine, parallel: 1, metricsAddr: "127.0.0.1:0"}
+		if err := run(m, f, q, cfg); err != nil {
+			t.Fatalf("engine %s with metrics: %v", engine, err)
+		}
+	}
+	if err := run(m, f, q, config{engine: "seg", parallel: 1, metricsAddr: "256.0.0.1:bad"}); err == nil {
+		t.Fatal("unusable metrics address accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	m, f, q := fixtureFiles(t)
 	seg := config{engine: "seg", parallel: 1}

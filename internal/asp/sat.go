@@ -97,8 +97,9 @@ type Solver struct {
 	cancel *atomic.Bool    // cooperative cancellation; nil = never
 	ctx    context.Context // context-based cancellation; nil = never
 
-	// Stats
-	Conflicts, Decisions, Propagations int64
+	// Stats. Restarts counts Luby budget renewals after the initial one of
+	// each Solve call (i.e. genuine search restarts).
+	Conflicts, Decisions, Propagations, Restarts int64
 }
 
 // NewSolver returns an empty solver.
@@ -474,6 +475,9 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 		}
 		if conflictsLeft <= 0 {
 			restart++
+			if restart > 1 {
+				s.Restarts++
+			}
 			conflictsLeft = 100 * luby(restart)
 			s.cancelUntil(0)
 		}

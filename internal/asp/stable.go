@@ -815,6 +815,13 @@ func (s *StableSolver) SatConflicts() int64 { return s.sat.Conflicts }
 // SatPropagations returns the underlying SAT solver's propagation count.
 func (s *StableSolver) SatPropagations() int64 { return s.sat.Propagations }
 
+// SatDecisions returns the underlying SAT solver's decision count.
+func (s *StableSolver) SatDecisions() int64 { return s.sat.Decisions }
+
+// SatRestarts returns the underlying SAT solver's restart count (Luby
+// budget renewals beyond the first of each search).
+func (s *StableSolver) SatRestarts() int64 { return s.sat.Restarts }
+
 // PreferTrue sets the decision polarity of the given atoms to true-first.
 // Useful when models are expected to be near-maximal on these atoms (e.g.
 // "keep" choices in repair programs): candidates then start from the

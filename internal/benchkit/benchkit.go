@@ -16,6 +16,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/telemetry"
 	"repro/internal/xr"
 )
 
@@ -79,6 +80,9 @@ type Runner struct {
 	Parallelism int
 	// Progress receives progress notes (nil = quiet).
 	Progress io.Writer
+	// Metrics, when non-nil, aggregates engine telemetry across every
+	// exchange and query the runner executes (see internal/telemetry).
+	Metrics *telemetry.Registry
 
 	world     *parser.World
 	exchanges map[string]*xr.Exchange
@@ -144,7 +148,7 @@ func (r *Runner) exchange(name string) (*xr.Exchange, error) {
 		return nil, err
 	}
 	r.logf("exchange phase for %s (%d source facts)...", name, in.Len())
-	ex, err := xr.NewExchange(r.world.M, in)
+	ex, err := xr.NewExchangeOpts(r.world.M, in, xr.Options{Metrics: r.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -154,12 +158,12 @@ func (r *Runner) exchange(name string) (*xr.Exchange, error) {
 
 // answer runs one segmentary query with the runner's parallelism.
 func (r *Runner) answer(ex *xr.Exchange, q *logic.UCQ) (*xr.Result, error) {
-	return ex.AnswerOpts(q, xr.Options{Parallelism: r.Parallelism})
+	return ex.AnswerOpts(q, xr.Options{Parallelism: r.Parallelism, Metrics: r.Metrics})
 }
 
 // monoOptions returns the monolithic engine options for this runner.
 func (r *Runner) monoOptions() xr.MonolithicOptions {
-	return xr.MonolithicOptions{Timeout: r.MonoTimeout, Parallelism: r.Parallelism}
+	return xr.MonolithicOptions{Timeout: r.MonoTimeout, Parallelism: r.Parallelism, Metrics: r.Metrics}
 }
 
 func seconds(d time.Duration) string {

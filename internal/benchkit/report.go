@@ -1,0 +1,129 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ExchangeReport is the machine-readable form of one exchange phase — the
+// Table 4 row for an instance, with durations in seconds.
+type ExchangeReport struct {
+	SourceFacts      int     `json:"source_facts"`
+	TotalFacts       int     `json:"total_facts"`
+	Violations       int     `json:"violations"`
+	Clusters         int     `json:"clusters"`
+	SuspectSource    int     `json:"suspect_source"`
+	SafeDerivable    int     `json:"safe_derivable"`
+	ReduceSeconds    float64 `json:"reduce_seconds"`
+	ChaseSeconds     float64 `json:"chase_seconds"`
+	EnvelopesSeconds float64 `json:"envelopes_seconds"`
+	Seconds          float64 `json:"seconds"`
+}
+
+// QueryReport is one segmentary query's wall time and stats.
+type QueryReport struct {
+	Query          string  `json:"query"`
+	Answers        int     `json:"answers"`
+	Candidates     int     `json:"candidates"`
+	SafeAccepted   int     `json:"safe_accepted"`
+	SolverAccepted int     `json:"solver_accepted"`
+	Programs       int     `json:"programs"`
+	CacheHits      int     `json:"cache_hits"`
+	GroundRules    int     `json:"ground_rules"`
+	GroundAtoms    int     `json:"ground_atoms"`
+	Seconds        float64 `json:"seconds"`
+}
+
+// BenchReport is the machine-readable result of one benchmark run on a
+// single genome profile: host info, the exchange phase, per-query wall
+// times, and the full telemetry snapshot (exchange stats plus solver
+// counters). It marshals deterministically up to the wall-time fields.
+type BenchReport struct {
+	Profile     string  `json:"profile"`
+	Scale       float64 `json:"scale"`
+	Parallelism int     `json:"parallelism"`
+
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Exchange ExchangeReport     `json:"exchange"`
+	Queries  []QueryReport      `json:"queries"`
+	Metrics  telemetry.Snapshot `json:"metrics"`
+}
+
+// Report runs the segmentary pipeline end to end on one profile — the
+// exchange phase plus the full Table 3 query suite — and returns the
+// machine-readable result. The runner's Metrics registry is used if set;
+// otherwise a fresh one is attached for the duration of the run, so the
+// report always carries solver counters.
+func (r *Runner) Report(profile string) (*BenchReport, error) {
+	if r.Metrics == nil {
+		r.Metrics = telemetry.NewRegistry()
+	}
+	qs, err := r.queries()
+	if err != nil {
+		return nil, err
+	}
+	ex, err := r.exchange(profile)
+	if err != nil {
+		return nil, err
+	}
+	st := ex.Stats
+	rep := &BenchReport{
+		Profile:     profile,
+		Scale:       r.Scale,
+		Parallelism: r.Parallelism,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Exchange: ExchangeReport{
+			SourceFacts:      st.SourceFacts,
+			TotalFacts:       st.TotalFacts,
+			Violations:       st.Violations,
+			Clusters:         st.Clusters,
+			SuspectSource:    st.SuspectSource,
+			SafeDerivable:    st.SafeDerivable,
+			ReduceSeconds:    st.ReduceDuration.Seconds(),
+			ChaseSeconds:     st.ChaseDuration.Seconds(),
+			EnvelopesSeconds: st.EnvDuration.Seconds(),
+			Seconds:          st.Duration.Seconds(),
+		},
+	}
+	for _, q := range qs {
+		r.logf("report query %s on %s...", q.Name, profile)
+		start := time.Now()
+		res, err := r.answer(ex, q)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: report query %s: %w", q.Name, err)
+		}
+		rep.Queries = append(rep.Queries, QueryReport{
+			Query:          q.Name,
+			Answers:        res.Answers.Len(),
+			Candidates:     res.Stats.Candidates,
+			SafeAccepted:   res.Stats.SafeAccepted,
+			SolverAccepted: res.Stats.SolverAccepted,
+			Programs:       res.Stats.Programs,
+			CacheHits:      res.Stats.CacheHits,
+			GroundRules:    res.Stats.GroundRules,
+			GroundAtoms:    res.Stats.GroundAtoms,
+			Seconds:        time.Since(start).Seconds(),
+		})
+	}
+	rep.Metrics = r.Metrics.Snapshot()
+	return rep, nil
+}
+
+// WriteJSON marshals the report as indented JSON.
+func (rep *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

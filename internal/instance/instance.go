@@ -65,16 +65,22 @@ func (f Fact) HasNull() bool {
 	return false
 }
 
-// relation stores the tuples of one relation plus lazily built column indexes.
+// relation stores the tuples of one relation plus lazily built column
+// indexes. Tuples are kept in an ordered slice (insertion order, with
+// swap-remove on delete) rather than ranged out of a map: every enumeration
+// the chase and query evaluator see is then deterministic, which keeps
+// ground-program atom numbering and rule order — and with them solver
+// effort and telemetry counters — identical from run to run.
 type relation struct {
-	tuples map[string][]symtab.Value
+	keys   map[string]int   // canonical tuple key -> index into tuples
+	tuples [][]symtab.Value // ordered; the single source of iteration order
 	// idx[col] maps a value to the tuples having that value in column col.
 	// Indexes are dropped on mutation and rebuilt on demand.
 	idx map[int]map[symtab.Value][][]symtab.Value
 }
 
 func newRelation() *relation {
-	return &relation{tuples: make(map[string][]symtab.Value)}
+	return &relation{keys: make(map[string]int)}
 }
 
 func (r *relation) invalidate() { r.idx = nil }
@@ -122,6 +128,39 @@ func (in *Instance) LenOf(rel schema.RelID) int {
 	return len(r.tuples)
 }
 
+// add appends a tuple under its canonical key, reporting whether it was new.
+func (r *relation) add(k string, args []symtab.Value) bool {
+	if _, dup := r.keys[k]; dup {
+		return false
+	}
+	r.keys[k] = len(r.tuples)
+	r.tuples = append(r.tuples, args)
+	r.invalidate()
+	return true
+}
+
+// remove deletes the tuple under k by swap-remove (the tail tuple takes its
+// slot). The order change is itself deterministic given deterministic
+// insertion and removal sequences, which is all iteration-order stability
+// requires.
+func (r *relation) remove(k string) bool {
+	i, ok := r.keys[k]
+	if !ok {
+		return false
+	}
+	delete(r.keys, k)
+	last := len(r.tuples) - 1
+	if i != last {
+		moved := r.tuples[last]
+		r.tuples[i] = moved
+		r.keys[EncodeTuple(moved)] = i
+	}
+	r.tuples[last] = nil
+	r.tuples = r.tuples[:last]
+	r.invalidate()
+	return true
+}
+
 // Add inserts a fact and reports whether it was newly added.
 // The argument slice is retained; callers must not mutate it afterwards.
 func (in *Instance) Add(rel schema.RelID, args []symtab.Value) bool {
@@ -133,12 +172,9 @@ func (in *Instance) Add(rel schema.RelID, args []symtab.Value) bool {
 		r = newRelation()
 		in.rels[rel] = r
 	}
-	k := EncodeTuple(args)
-	if _, dup := r.tuples[k]; dup {
+	if !r.add(EncodeTuple(args), args) {
 		return false
 	}
-	r.tuples[k] = args
-	r.invalidate()
 	in.size++
 	return true
 }
@@ -152,12 +188,9 @@ func (in *Instance) Remove(rel schema.RelID, args []symtab.Value) bool {
 	if !ok {
 		return false
 	}
-	k := EncodeTuple(args)
-	if _, present := r.tuples[k]; !present {
+	if !r.remove(EncodeTuple(args)) {
 		return false
 	}
-	delete(r.tuples, k)
-	r.invalidate()
 	in.size--
 	return true
 }
@@ -171,29 +204,29 @@ func (in *Instance) Contains(rel schema.RelID, args []symtab.Value) bool {
 	if !ok {
 		return false
 	}
-	_, present := r.tuples[EncodeTuple(args)]
+	_, present := r.keys[EncodeTuple(args)]
 	return present
 }
 
 // ContainsFact reports whether f is present.
 func (in *Instance) ContainsFact(f Fact) bool { return in.Contains(f.Rel, f.Args) }
 
-// Tuples returns the tuples of one relation in unspecified order.
-// The returned slices are shared with the instance; do not mutate them.
+// Tuples returns the tuples of one relation in deterministic (insertion)
+// order. The returned slices are shared with the instance; do not mutate
+// them.
 func (in *Instance) Tuples(rel schema.RelID) [][]symtab.Value {
 	r, ok := in.rels[rel]
 	if !ok {
 		return nil
 	}
 	out := make([][]symtab.Value, 0, len(r.tuples))
-	for _, t := range r.tuples {
-		out = append(out, t)
-	}
+	out = append(out, r.tuples...)
 	return out
 }
 
 // Facts returns every fact in the instance, grouped by relation in ascending
-// relation order. Tuple order within a relation is unspecified.
+// relation order; tuples within a relation come in deterministic (insertion)
+// order.
 func (in *Instance) Facts() []Fact {
 	out := make([]Fact, 0, in.size)
 	for _, rel := range in.relIDs() {
@@ -268,13 +301,15 @@ func (in *Instance) Match(rel schema.RelID, pattern []symtab.Value) [][]symtab.V
 }
 
 // Clone returns a deep-enough copy: fact sets are copied, tuples are shared
-// (tuples are treated as immutable throughout the codebase).
+// (tuples are treated as immutable throughout the codebase). Tuple order is
+// preserved.
 func (in *Instance) Clone() *Instance {
 	cp := New(in.cat)
 	for id, r := range in.rels {
 		nr := newRelation()
-		for k, t := range r.tuples {
-			nr.tuples[k] = t
+		nr.tuples = append([][]symtab.Value(nil), r.tuples...)
+		for k, i := range r.keys {
+			nr.keys[k] = i
 		}
 		cp.rels[id] = nr
 	}
@@ -283,25 +318,26 @@ func (in *Instance) Clone() *Instance {
 }
 
 // Restrict returns the sub-instance containing only facts whose relation is
-// in s (the paper's "R'-restriction").
+// in s (the paper's "R'-restriction"), in deterministic order.
 func (in *Instance) Restrict(s *schema.Schema) *Instance {
 	out := New(in.cat)
-	for id, r := range in.rels {
+	for _, id := range in.relIDs() {
 		if !s.Contains(id) {
 			continue
 		}
-		for _, t := range r.tuples {
+		for _, t := range in.rels[id].tuples {
 			out.Add(id, t)
 		}
 	}
 	return out
 }
 
-// AddAll inserts every fact of other and returns the number newly added.
+// AddAll inserts every fact of other in deterministic order and returns the
+// number newly added.
 func (in *Instance) AddAll(other *Instance) int {
 	n := 0
-	for id, r := range other.rels {
-		for _, t := range r.tuples {
+	for _, id := range other.relIDs() {
+		for _, t := range other.rels[id].tuples {
 			if in.Add(id, t) {
 				n++
 			}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// publishedRegistry backs the expvar variable "xr_metrics": expvar.Publish
+// panics on duplicate names, so the variable is registered once and reads
+// whatever registry is currently being served.
+var (
+	publishedRegistry atomic.Pointer[Registry]
+	expvarOnce        sync.Once
+)
+
+// Handler returns an http.Handler exposing reg:
+//
+//	/metrics         Prometheus text exposition
+//	/metrics.json    the deterministic Snapshot JSON
+//	/debug/vars      expvar (including the registry as "xr_metrics")
+//	/debug/pprof/    net/http/pprof profiles
+func Handler(reg *Registry) http.Handler {
+	publishedRegistry.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("xr_metrics", expvar.Func(func() interface{} {
+			return publishedRegistry.Load().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics endpoint; Close shuts it down.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP metrics endpoint for reg on addr (host:port; use
+// ":0" for an ephemeral port, then read Addr). The server runs until
+// Close is called.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4), in sorted name order. Counters map
+// to `counter`, gauges to `gauge`, histograms to `histogram` with
+// cumulative `_bucket{le="..."}` series, `_sum` (seconds), and `_count`.
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	type histCopy struct {
+		count   int64
+		sumNs   int64
+		buckets [numBuckets]int64
+	}
+	hists := make(map[string]histCopy, len(r.histograms))
+	for name, h := range r.histograms {
+		hc := histCopy{count: h.count.Load(), sumNs: h.sumNs.Load()}
+		for i := range h.buckets {
+			hc.buckets[i] = h.buckets[i].Load()
+		}
+		hists[name] = hc
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[name]); err != nil {
+			return err
+		}
+	}
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i := 0; i < numBuckets; i++ {
+			cum += h.buckets[i]
+			if h.buckets[i] == 0 && i != numBuckets-1 {
+				continue // only emit buckets that change the cumulative count
+			}
+			le := "+Inf"
+			if i < numBuckets-1 {
+				le = formatFloat(bucketUpperSeconds(i))
+			}
+			if i == numBuckets-1 {
+				cum = h.count // +Inf bucket always equals the total count
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			name, formatFloat(float64(h.sumNs)/1e9), name, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -2,6 +2,7 @@ package xr
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/chase"
 	"repro/internal/cq"
@@ -74,6 +75,15 @@ func SourceRepairs(m *mapping.Mapping, src *instance.Instance) ([]*instance.Inst
 // independent oracle for validating the monolithic and segmentary
 // pipelines on small instances.
 func BruteForce(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ) ([]*Result, error) {
+	return BruteForceOpts(m, src, queries, Options{})
+}
+
+// BruteForceOpts is BruteForce with Options. Only Metrics is consulted
+// (the enumeration has no solver to cancel); each query is counted under
+// the engine name "bruteforce" and enumerated repairs feed
+// xr_repairs_enumerated_total.
+func BruteForceOpts(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ, opts Options) ([]*Result, error) {
+	mt := newMeters(opts.Metrics)
 	repairs, err := SourceRepairs(m, src)
 	if err != nil {
 		return nil, err
@@ -81,6 +91,7 @@ func BruteForce(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 	if len(repairs) == 0 {
 		return nil, fmt.Errorf("xr: internal error: no source repairs (the empty instance is always consistent)")
 	}
+	mt.recordRepairs(len(repairs))
 	solutions := make([]*instance.Instance, len(repairs))
 	for i, rep := range repairs {
 		j, err := chase.Native(m, rep)
@@ -91,6 +102,7 @@ func BruteForce(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 	}
 	results := make([]*Result, len(queries))
 	for qi, q := range queries {
+		start := time.Now()
 		var ans *cq.AnswerSet
 		for _, j := range solutions {
 			a := cq.EvalUCQ(q, j).WithoutNulls()
@@ -101,6 +113,8 @@ func BruteForce(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 			}
 		}
 		results[qi] = &Result{Query: q, Answers: ans}
+		results[qi].Stats.Duration = time.Since(start)
+		mt.recordQuery("bruteforce", results[qi].Stats)
 	}
 	return results, nil
 }

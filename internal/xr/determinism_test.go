@@ -1,0 +1,48 @@
+package xr
+
+import (
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/telemetry"
+)
+
+// TestCounterDeterminismRunToRun rebuilds the same exchange from scratch and
+// replays the genome query suite; counter totals must be identical both
+// run-to-run (guarding against map-iteration order leaking into fact
+// interning, grounding, or clause construction) and across parallelism.
+func TestCounterDeterminismRunToRun(t *testing.T) {
+	world, err := genome.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := genome.Queries(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := genome.ProfileByName("L9", 0.004)
+	if !ok {
+		t.Fatal("unknown genome profile L9")
+	}
+	src := genome.Generate(world, p)
+	run := func(parallelism int) string {
+		reg := telemetry.NewRegistry()
+		ex, err := NewExchangeOpts(world.M, src, Options{Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			if _, err := ex.AnswerOpts(q, Options{Parallelism: parallelism}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return countersJSON(t, reg)
+	}
+	base := run(1)
+	if again := run(1); base != again {
+		t.Errorf("sequential counters diverge run to run:\n%s\n%s", base, again)
+	}
+	if par := run(8); base != par {
+		t.Errorf("counters diverge across parallelism:\n%s\n%s", base, par)
+	}
+}

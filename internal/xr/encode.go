@@ -1,6 +1,8 @@
 package xr
 
 import (
+	"sort"
+
 	"repro/internal/asp"
 	"repro/internal/chase"
 )
@@ -508,6 +510,11 @@ func (e *encoder) acceptorWithIndex(x *maxIndex, s *asp.StableSolver, learn func
 			for g := range sup {
 				atoms = append(atoms, e.r[g])
 			}
+			// Sort: sup is a map, and clause literal order steers the
+			// solver's watches — sorted clauses keep solver effort (and so
+			// the telemetry counters) deterministic run to run, matching
+			// the order addLearned stores for replay.
+			sort.Slice(atoms, func(i, j int) bool { return atoms[i] < atoms[j] })
 			if learn != nil {
 				learn(atoms)
 			}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/logic"
 	"repro/internal/mapping"
+	"repro/internal/telemetry"
 )
 
 // MonolithicOptions tunes the monolithic pipeline.
@@ -25,6 +26,9 @@ type MonolithicOptions struct {
 	Parallelism int
 	// Trace, when non-nil, receives one event per program solved.
 	Trace func(TraceEvent)
+	// Metrics, when non-nil, aggregates timings and solver counters into
+	// the given registry (see Options.Metrics).
+	Metrics *telemetry.Registry
 }
 
 // Monolithic computes the XR-Certain answers of the queries using the
@@ -44,6 +48,7 @@ func Monolithic(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 		return nil, err
 	}
 	o := (Options{Ctx: opts.Ctx, Parallelism: opts.Parallelism, Trace: opts.Trace}).serialized()
+	mt := newMeters(opts.Metrics)
 	ctx, cancel := o.begin()
 	defer cancel()
 
@@ -56,7 +61,7 @@ func Monolithic(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 			qctx, qcancel = context.WithTimeout(ctx, opts.Timeout)
 			defer qcancel()
 		}
-		res, err := monolithicOne(qctx, red.M, src, rqs[i], o.Trace, queries[i].Name)
+		res, err := monolithicOne(qctx, red.M, src, rqs[i], o.Trace, mt, queries[i].Name)
 		if err != nil && !isSentinel(err) {
 			return fmt.Errorf("xr: query %s: %w", queries[i].Name, err)
 		}
@@ -66,6 +71,7 @@ func Monolithic(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 		res.Query = queries[i]
 		res.Err = err
 		res.Stats.Duration = time.Since(start)
+		mt.recordQuery("monolithic", res.Stats)
 		results[i] = res
 		return nil
 	})
@@ -80,7 +86,7 @@ func Monolithic(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 	return results, nil
 }
 
-func monolithicOne(ctx context.Context, gm *mapping.Mapping, src *instance.Instance, rq *logic.UCQ, trace func(TraceEvent), qname string) (*Result, error) {
+func monolithicOne(ctx context.Context, gm *mapping.Mapping, src *instance.Instance, rq *logic.UCQ, trace func(TraceEvent), mt *meters, qname string) (*Result, error) {
 	res := &Result{Answers: cq.NewAnswerSet()}
 	if len(rq.Clauses) == 0 {
 		return res, nil
@@ -93,12 +99,12 @@ func monolithicOne(ctx context.Context, gm *mapping.Mapping, src *instance.Insta
 	if cerr := ctxErr(ctx); cerr != nil {
 		return res, cerr
 	}
-	return solveProgram(ctx, prov, rq, func(chase.FactID) factState { return factVar }, res, trace, qname)
+	return solveProgram(ctx, prov, rq, func(chase.FactID) factState { return factVar }, res, trace, mt, qname)
 }
 
 // solveProgram grounds the Figure 1 program over the given universe, adds
 // the query candidates, and runs cautious reasoning under ctx.
-func solveProgram(ctx context.Context, prov *chase.Provenance, rq *logic.UCQ, state func(chase.FactID) factState, res *Result, trace func(TraceEvent), qname string) (*Result, error) {
+func solveProgram(ctx context.Context, prov *chase.Provenance, rq *logic.UCQ, state func(chase.FactID) factState, res *Result, trace func(TraceEvent), mt *meters, qname string) (*Result, error) {
 	start := time.Now()
 	cands := collectCandidates(rq, prov)
 	res.Stats.Candidates += len(cands)
@@ -125,8 +131,8 @@ func solveProgram(ctx context.Context, prov *chase.Provenance, rq *logic.UCQ, st
 	solver.SetContext(ctx)
 	solver.Acceptor = enc.maximalityAcceptor(solver)
 	kept, hasModel := solver.Cautious(atoms)
-	if trace != nil {
-		trace(TraceEvent{
+	if trace != nil || mt != nil {
+		ev := TraceEvent{
 			Engine:           "monolithic",
 			Query:            qname,
 			Candidates:       len(atoms),
@@ -137,9 +143,15 @@ func solveProgram(ctx context.Context, prov *chase.Provenance, rq *logic.UCQ, st
 			LoopsLearned:     solver.LoopsLearned,
 			TheoryRejects:    solver.TheoryRejects,
 			Conflicts:        solver.SatConflicts(),
+			Decisions:        solver.SatDecisions(),
 			Propagations:     solver.SatPropagations(),
+			Restarts:         solver.SatRestarts(),
 			Duration:         time.Since(start),
-		})
+		}
+		mt.recordProgram(ev)
+		if trace != nil {
+			trace(ev)
+		}
 	}
 	if solver.Canceled() {
 		// The search was cut short: Cautious's partial narrowing must not

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Sentinel errors shared by every engine. They are wrapped with query
@@ -41,10 +43,17 @@ type Options struct {
 	// Trace, when non-nil, receives one event per program solved. Calls
 	// are serialized even when solving in parallel.
 	Trace func(TraceEvent)
+	// Metrics, when non-nil, aggregates phase timings and solver counters
+	// into the given registry (see internal/telemetry and DESIGN.md §10).
+	// Counter totals are deterministic at any Parallelism. A nil registry
+	// costs nothing on the solving paths.
+	Metrics *telemetry.Registry
 }
 
-// TraceEvent reports per-program solver diagnostics (the programmatic
-// replacement for the old XR_DEBUG_SOLVER stderr dump).
+// TraceEvent reports per-program solver diagnostics. For per-call raw
+// events install Options.Trace; for aggregated totals across calls attach
+// a telemetry registry via Options.Metrics — both are fed from the same
+// instrumentation points.
 type TraceEvent struct {
 	Engine    string // "segmentary", "segmentary-brave", "monolithic", "repairs"
 	Query     string // query name, when applicable
@@ -60,7 +69,9 @@ type TraceEvent struct {
 	LoopsLearned     int
 	TheoryRejects    int // models rejected by the maximality check
 	Conflicts        int64
+	Decisions        int64
 	Propagations     int64
+	Restarts         int64 // SAT search restarts (Luby budget renewals)
 
 	Duration time.Duration
 }

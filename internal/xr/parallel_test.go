@@ -12,6 +12,7 @@ import (
 	"repro/internal/genome"
 	"repro/internal/instance"
 	"repro/internal/logic"
+	"repro/internal/telemetry"
 )
 
 // conflictFarm builds a world with n independent key-conflict clusters
@@ -108,7 +109,10 @@ func TestParallelMatchesSequentialFarm(t *testing.T) {
 // TestParallelMatchesSequentialGenome runs the full genome query suite on
 // two suspect-rate profiles, comparing a sequential exchange against a
 // parallel one query by query (same query order on both sides, so cache
-// stats must agree too).
+// stats must agree too). Both sides aggregate into telemetry registries,
+// whose counter totals must come out byte-identical: every counter is a
+// sum of per-program contributions fixed by the query, so only the order
+// of the atomic adds — never the total — depends on the parallelism.
 func TestParallelMatchesSequentialGenome(t *testing.T) {
 	world, err := genome.NewWorld()
 	if err != nil {
@@ -118,31 +122,39 @@ func TestParallelMatchesSequentialGenome(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	regSeq, regPar := telemetry.NewRegistry(), telemetry.NewRegistry()
 	for _, name := range []string{"L3", "L9"} {
 		p, ok := genome.ProfileByName(name, 0.004)
 		if !ok {
 			t.Fatalf("unknown profile %s", name)
 		}
 		src := genome.Generate(world, p)
-		exSeq, err := NewExchange(world.M, src)
+		exSeq, err := NewExchangeOpts(world.M, src, Options{Metrics: regSeq})
 		if err != nil {
 			t.Fatal(err)
 		}
-		exPar, err := NewExchange(world.M, src)
+		exPar, err := NewExchangeOpts(world.M, src, Options{Metrics: regPar})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, q := range queries {
-			seq, err := exSeq.AnswerOpts(q, Options{})
+			seq, err := exSeq.AnswerOpts(q, Options{Parallelism: 1})
 			if err != nil {
 				t.Fatalf("%s/%s sequential: %v", name, q.Name, err)
 			}
-			par, err := exPar.AnswerOpts(q, Options{Parallelism: runtime.NumCPU()})
+			par, err := exPar.AnswerOpts(q, Options{Parallelism: 8})
 			if err != nil {
 				t.Fatalf("%s/%s parallel: %v", name, q.Name, err)
 			}
 			requireSameResult(t, name+"/"+q.Name, seq, par)
 		}
+	}
+	seqC, parC := countersJSON(t, regSeq), countersJSON(t, regPar)
+	if seqC != parC {
+		t.Fatalf("telemetry counters diverge between Parallelism=1 and 8:\nseq: %s\npar: %s", seqC, parC)
+	}
+	if regSeq.Counter("xr_programs_total").Value() == 0 {
+		t.Fatal("genome suite recorded no programs")
 	}
 }
 

@@ -70,6 +70,10 @@ type Exchange struct {
 	progMu    sync.Mutex
 	progCache map[string]*sigProgram
 
+	// mt is the instrument set of the registry the Exchange was built with
+	// (nil when telemetry is off); per-call registries override it.
+	mt *meters
+
 	Stats ExchangeStats
 }
 
@@ -78,6 +82,15 @@ type Exchange struct {
 // violation clusters, and cluster influences. All of this is
 // query-independent and polynomial (Propositions 3–6).
 func NewExchange(m *mapping.Mapping, src *instance.Instance) (*Exchange, error) {
+	return NewExchangeOpts(m, src, Options{})
+}
+
+// NewExchangeOpts is NewExchange with Options. Only Metrics is consulted:
+// the exchange phase is polynomial and uninterruptible (the chase has no
+// cancellation points), so Ctx/Timeout/Parallelism apply to the query
+// phase only. The registry also becomes the Exchange's default for later
+// query calls that don't carry their own.
+func NewExchangeOpts(m *mapping.Mapping, src *instance.Instance, opts Options) (*Exchange, error) {
 	start := time.Now()
 	red, err := gavreduce.Reduce(m)
 	if err != nil {
@@ -184,6 +197,8 @@ func NewExchange(m *mapping.Mapping, src *instance.Instance) (*Exchange, error) 
 		EnvDuration:    end.Sub(afterChase),
 		Duration:       end.Sub(start),
 	}
+	ex.mt = newMeters(opts.Metrics)
+	ex.mt.recordExchange(ex.Stats)
 	return ex, nil
 }
 
@@ -245,6 +260,7 @@ func (ex *Exchange) PossibleOpts(q *logic.UCQ, opts Options) (*Result, error) {
 func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, error) {
 	start := time.Now()
 	opts = opts.serialized()
+	mt := ex.metersFor(&opts)
 	ctx, cancel := opts.begin()
 	defer cancel()
 
@@ -252,8 +268,16 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	engine := "segmentary"
+	if brave {
+		engine = "segmentary-brave"
+	}
 	res := &Result{Query: q, Answers: cq.NewAnswerSet()}
-	defer func() { res.Stats.Duration = time.Since(start) }()
+	defer func() {
+		res.Stats.Duration = time.Since(start)
+		mt.recordQuery(engine, res.Stats)
+		mt.recordSigcacheSize(ex)
+	}()
 
 	if len(rq.Clauses) == 0 {
 		return res, nil
@@ -284,7 +308,7 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 	// Solve one program per signature, fanning out across the pool.
 	outcomes := make([]*groupOutcome, len(keys))
 	ferr := forEach(ctx, opts.workers(), len(keys), func(ctx context.Context, i int) error {
-		out, err := ex.solveSig(ctx, keys[i], groups[keys[i]], brave, &opts, q.Name)
+		out, err := ex.solveSig(ctx, keys[i], groups[keys[i]], brave, &opts, mt, q.Name)
 		if err != nil {
 			return err
 		}
@@ -322,7 +346,7 @@ type groupOutcome struct {
 // program, specialize a clone with this query's candidates, replay the
 // maximality clauses learned so far, and run cautious or brave reasoning
 // on a fresh solver.
-func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, qname string) (*groupOutcome, error) {
+func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, mt *meters, qname string) (*groupOutcome, error) {
 	start := time.Now()
 	sp, hit := ex.sigProgramFor(key)
 	sp.ensure(ex, g.sig)
@@ -342,7 +366,11 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 	solver := asp.NewStableSolver(spec.gp)
 	solver.SetContext(ctx)
 	sp.replayInto(solver)
-	solver.Acceptor = spec.acceptorWithIndex(sp.idx, solver, sp.addLearned)
+	solver.Acceptor = spec.acceptorWithIndex(sp.idx, solver, func(clause []asp.AtomID) {
+		if sp.addLearned(clause) {
+			mt.recordLearned()
+		}
+	})
 
 	var kept []asp.AtomID
 	var hasModel bool
@@ -375,12 +403,12 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 			out.tuples = append(out.tuples, c.tuple)
 		}
 	}
-	if opts.Trace != nil {
+	if opts.Trace != nil || mt != nil {
 		engine := "segmentary"
 		if brave {
 			engine = "segmentary-brave"
 		}
-		opts.Trace(TraceEvent{
+		ev := TraceEvent{
 			Engine:           engine,
 			Query:            qname,
 			Signature:        g.sig,
@@ -393,9 +421,15 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 			LoopsLearned:     solver.LoopsLearned,
 			TheoryRejects:    solver.TheoryRejects,
 			Conflicts:        solver.SatConflicts(),
+			Decisions:        solver.SatDecisions(),
 			Propagations:     solver.SatPropagations(),
+			Restarts:         solver.SatRestarts(),
 			Duration:         time.Since(start),
-		})
+		}
+		mt.recordProgram(ev)
+		if opts.Trace != nil {
+			opts.Trace(ev)
+		}
 	}
 	return out, nil
 }
@@ -459,6 +493,7 @@ func (ex *Exchange) Repairs(limit int) ([]*instance.Instance, error) {
 func (ex *Exchange) RepairsOpts(limit int, opts Options) ([]*instance.Instance, error) {
 	start := time.Now()
 	opts = opts.serialized()
+	mt := ex.metersFor(&opts)
 	ctx, cancel := opts.begin()
 	defer cancel()
 
@@ -506,8 +541,9 @@ func (ex *Exchange) RepairsOpts(limit int, opts Options) ([]*instance.Instance, 
 			return nil, fmt.Errorf("xr: repairs: %w", err)
 		}
 	}
-	if opts.Trace != nil {
-		opts.Trace(TraceEvent{
+	mt.recordRepairs(len(out))
+	if opts.Trace != nil || mt != nil {
+		ev := TraceEvent{
 			Engine:           "repairs",
 			Candidates:       len(srcVars),
 			Atoms:            enc.gp.NumAtoms(),
@@ -517,9 +553,15 @@ func (ex *Exchange) RepairsOpts(limit int, opts Options) ([]*instance.Instance, 
 			LoopsLearned:     solver.LoopsLearned,
 			TheoryRejects:    solver.TheoryRejects,
 			Conflicts:        solver.SatConflicts(),
+			Decisions:        solver.SatDecisions(),
 			Propagations:     solver.SatPropagations(),
+			Restarts:         solver.SatRestarts(),
 			Duration:         time.Since(start),
-		})
+		}
+		mt.recordProgram(ev)
+		if opts.Trace != nil {
+			opts.Trace(ev)
+		}
 	}
 	return out, nil
 }

@@ -83,9 +83,10 @@ func (sp *sigProgram) ensure(ex *Exchange, sig []int) {
 	})
 }
 
-// addLearned records one maximality clause for replay. Clauses arrive as
-// positive base atoms; duplicates are dropped.
-func (sp *sigProgram) addLearned(clause []asp.AtomID) {
+// addLearned records one maximality clause for replay, reporting whether
+// it was new. Clauses arrive as positive base atoms; duplicates are
+// dropped.
+func (sp *sigProgram) addLearned(clause []asp.AtomID) bool {
 	c := append([]asp.AtomID(nil), clause...)
 	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
 	var b strings.Builder
@@ -99,10 +100,11 @@ func (sp *sigProgram) addLearned(clause []asp.AtomID) {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
 	if sp.seen[key] {
-		return
+		return false
 	}
 	sp.seen[key] = true
 	sp.learned = append(sp.learned, c)
+	return true
 }
 
 // replayInto installs the learned maximality clauses on a fresh solver

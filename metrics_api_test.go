@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestWithMetricsEndToEnd runs a query with a registry attached and checks
+// the three expositions: the deterministic snapshot, the Prometheus text
+// endpoint, and the expvar/JSON endpoints served by ServeMetrics.
+func TestWithMetricsEndToEnd(t *testing.T) {
+	sys, in, qs := setup(t)
+	reg := NewMetrics()
+	ex, err := sys.NewExchange(in, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ex.Answer(qs[0], WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["xr_exchanges_total"] != 1 {
+		t.Fatalf("exchanges = %d, want 1", snap.Counters["xr_exchanges_total"])
+	}
+	if got := snap.Counters["xr_programs_total"]; got != int64(ans.Programs) {
+		t.Fatalf("programs = %d, want %d", got, ans.Programs)
+	}
+	if got := snap.Counters["xr_queries_total"]; got != 1 {
+		t.Fatalf("queries = %d, want 1", got)
+	}
+
+	srv, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	prom := get("/metrics")
+	want := fmt.Sprintf("xr_programs_total %d", ans.Programs)
+	if !strings.Contains(prom, want) {
+		t.Fatalf("Prometheus exposition missing %q:\n%s", want, prom)
+	}
+	if !strings.Contains(prom, "# TYPE xr_query_seconds histogram") {
+		t.Fatalf("Prometheus exposition missing histogram type line:\n%s", prom)
+	}
+
+	var fromJSON MetricsSnapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Counters["xr_programs_total"] != int64(ans.Programs) {
+		t.Fatalf("/metrics.json programs = %d, want %d",
+			fromJSON.Counters["xr_programs_total"], ans.Programs)
+	}
+
+	if vars := get("/debug/vars"); !strings.Contains(vars, "xr_metrics") {
+		t.Fatalf("expvar endpoint missing xr_metrics:\n%.400s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
+		t.Fatalf("pprof index unexpected:\n%.200s", idx)
+	}
+}

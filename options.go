@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/xr"
 )
 
@@ -63,6 +64,40 @@ func WithParallelism(n int) Option {
 // The hook is called serially even when solving in parallel.
 func WithSolverTrace(f func(TraceEvent)) Option {
 	return func(o *xr.Options) { o.Trace = f }
+}
+
+// Metrics is a registry of named counters, gauges, and latency histograms
+// that the engines aggregate into when attached with WithMetrics. It is
+// safe for concurrent use; counter totals are deterministic at any
+// WithParallelism setting. Expose it with Snapshot (deterministic JSON),
+// WritePrometheus (text exposition format), or ServeMetrics (HTTP).
+type Metrics = telemetry.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
+
+// MetricsSnapshot is the point-in-time JSON form of a Metrics registry.
+type MetricsSnapshot = telemetry.Snapshot
+
+// WithMetrics aggregates phase timings and solver counters into reg:
+// exchange-phase stats (Table 4), per-query and per-program counts,
+// signature-cache hits/misses, and the DPLL core's decisions, conflicts,
+// propagations, and restarts. A nil registry disables collection at
+// near-zero cost. The same registry may be shared across calls, engines,
+// and goroutines.
+func WithMetrics(reg *Metrics) Option {
+	return func(o *xr.Options) { o.Metrics = reg }
+}
+
+// MetricsServer is a running HTTP metrics endpoint; see ServeMetrics.
+type MetricsServer = telemetry.Server
+
+// ServeMetrics starts an HTTP endpoint exposing reg on addr (":0" picks an
+// ephemeral port — read Addr). It serves /metrics (Prometheus text),
+// /metrics.json (deterministic snapshot), /debug/vars (expvar), and
+// /debug/pprof/. Close the returned server to shut it down.
+func ServeMetrics(addr string, reg *Metrics) (*MetricsServer, error) {
+	return telemetry.Serve(addr, reg)
 }
 
 // buildOptions folds the options into the engine-level struct.

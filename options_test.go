@@ -298,4 +298,16 @@ func TestMonolithicAnswersTimeoutShim(t *testing.T) {
 			t.Fatalf("query %d: shim %v vs options %v", i, old[i].Tuples, cur[i].Tuples)
 		}
 	}
+
+	// The shim also forwards the timeout: an unsatisfiable deadline yields
+	// per-query ErrTimeout through the same positional parameter.
+	_, tErrs, err := sys.MonolithicAnswersTimeout(in, qs, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if !errors.Is(tErrs[i], ErrTimeout) {
+			t.Fatalf("query %d: err = %v, want ErrTimeout", i, tErrs[i])
+		}
+	}
 }

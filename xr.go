@@ -155,8 +155,11 @@ type Exchange struct {
 }
 
 // NewExchange runs the exchange phase (polynomial, query-independent).
-func (s *System) NewExchange(i *Instance) (*Exchange, error) {
-	ex, err := xr.NewExchange(s.w.M, i.in)
+// WithMetrics records the phase's Table-4 stats and makes the registry the
+// exchange's default for later Answer/Possible/Repairs calls; the other
+// options have no effect here (the exchange phase is uninterruptible).
+func (s *System) NewExchange(i *Instance, opts ...Option) (*Exchange, error) {
+	ex, err := xr.NewExchangeOpts(s.w.M, i.in, buildOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +239,7 @@ func (s *System) MonolithicAnswers(i *Instance, queries []*Query, opts ...Option
 		Timeout:     o.Timeout,
 		Parallelism: o.Parallelism,
 		Trace:       o.Trace,
+		Metrics:     o.Metrics,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -258,13 +262,15 @@ func (s *System) MonolithicAnswersTimeout(i *Instance, queries []*Query, timeout
 
 // BruteForceAnswers computes XR-Certain answers by explicit source-repair
 // enumeration (exponential; refuses instances over 22 facts). Intended for
-// validating the other engines.
-func (s *System) BruteForceAnswers(i *Instance, queries []*Query) ([]*Answers, error) {
+// validating the other engines. WithMetrics records repair and query
+// counts; the other options have no effect (nothing to cancel or
+// parallelize).
+func (s *System) BruteForceAnswers(i *Instance, queries []*Query, opts ...Option) ([]*Answers, error) {
 	qs := make([]*logic.UCQ, len(queries))
 	for j, q := range queries {
 		qs[j] = q.q
 	}
-	results, err := xr.BruteForce(s.w.M, i.in, qs)
+	results, err := xr.BruteForceOpts(s.w.M, i.in, qs, buildOptions(opts))
 	if err != nil {
 		return nil, err
 	}
