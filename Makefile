@@ -2,9 +2,9 @@
 # The parallel segmentary query phase and the signature-program cache are
 # exercised concurrently by the tests, so -race is part of the gate.
 # check also builds every command so CLI-only breakage cannot slip past.
-.PHONY: check build test bench bench-smoke lint
+.PHONY: check build test bench bench-smoke lint fuzz fuzz-smoke chaos
 
-check:
+check: fuzz-smoke
 	go build ./cmd/...
 	go vet ./...
 	go test -race ./...
@@ -23,6 +23,25 @@ bench:
 # instance is inconsistent and the solver counters are live).
 bench-smoke:
 	go run ./cmd/xrbench -json BENCH_S3.json -profile S3 -scale 0.1
+
+# fuzz runs each fuzzer for 30s (go's engine takes one fuzzer per
+# invocation). fuzz-smoke is the 10s CI variant wired into check.
+fuzz:
+	go test -fuzz=FuzzParse -fuzztime=30s ./internal/asp/
+	go test -fuzz=FuzzGround -fuzztime=30s ./internal/asp/
+	go test -fuzz=FuzzParseMapping -fuzztime=30s ./internal/parser/
+	go test -fuzz=FuzzParseFacts -fuzztime=30s ./internal/parser/
+	go test -fuzz=FuzzParseQueries -fuzztime=30s ./internal/parser/
+
+fuzz-smoke:
+	go test -fuzz=FuzzParse -fuzztime=5s ./internal/asp/
+	go test -fuzz=FuzzGround -fuzztime=5s ./internal/asp/
+
+# chaos replays the fault-injection suite (budgets, timeouts, panics,
+# cache corruption) under the race detector at high parallelism.
+chaos:
+	go test -race -count=1 -run 'Chaos|Fault|Degrad|Panic|Budget|Signature' \
+		./internal/faultkit/ ./internal/xr/ ./internal/asp/
 
 # lint runs staticcheck when it is installed and degrades gracefully when it
 # is not (the container image does not bake it in).

@@ -32,9 +32,15 @@ func main() {
 	}
 }
 
-func run(args []string, models int, cautious, brave bool) error {
+func run(args []string, models int, cautious, brave bool) (err error) {
+	// A malformed program must exit with a diagnostic, never a crash: any
+	// panic escaping the parser/grounder/solver is converted to an error.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
 	var text []byte
-	var err error
 	switch len(args) {
 	case 0:
 		text, err = io.ReadAll(os.Stdin)

@@ -6,7 +6,15 @@
 //
 //	xrquery -mapping m.map -facts i.facts -queries q.dl \
 //	        [-engine seg|mono|brute] [-timeout 60s] [-parallel N] \
-//	        [-stats] [-trace] [-possible] [-metrics-addr :9090]
+//	        [-stats] [-trace] [-possible] [-metrics-addr :9090] \
+//	        [-partial] [-sig-timeout 5s] [-max-decisions N] [-max-conflicts N]
+//
+// With -partial (segmentary engine only), a signature program that
+// exhausts -sig-timeout or the -max-decisions/-max-conflicts solver budget
+// is skipped instead of failing the query: the printed answers are a sound
+// lower bound, undecided tuples are printed with a leading `?`, and the
+// process exits with code 3 so scripts can tell a degraded run from a
+// complete one (0) or an error (1).
 //
 // With -metrics-addr, an HTTP endpoint serves /metrics (Prometheus text),
 // /metrics.json (deterministic snapshot), /debug/vars (expvar), and
@@ -27,13 +35,17 @@ import (
 
 // config collects the command-line options.
 type config struct {
-	engine      string
-	timeout     time.Duration
-	parallel    int
-	stats       bool
-	trace       bool
-	possible    bool
-	metricsAddr string
+	engine       string
+	timeout      time.Duration
+	parallel     int
+	stats        bool
+	trace        bool
+	possible     bool
+	metricsAddr  string
+	partial      bool
+	sigTimeout   time.Duration
+	maxDecisions int64
+	maxConflicts int64
 
 	// metrics is the run's registry, non-nil when metricsAddr is set.
 	metrics *repro.Metrics
@@ -53,14 +65,24 @@ func main() {
 	flag.BoolVar(&cfg.trace, "trace", false, "print per-program solver diagnostics to stderr")
 	flag.BoolVar(&cfg.possible, "possible", false, "also print XR-Possible answers (segmentary engine only)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve Prometheus/expvar/pprof on this address (e.g. :9090; empty = off)")
+	flag.BoolVar(&cfg.partial, "partial", false, "return sound partial answers when a signature exceeds its budget (exit code 3)")
+	flag.DurationVar(&cfg.sigTimeout, "sig-timeout", 0, "per-signature solving timeout (0 = none; segmentary engine only)")
+	flag.Int64Var(&cfg.maxDecisions, "max-decisions", 0, "per-signature solver decision budget (0 = unlimited)")
+	flag.Int64Var(&cfg.maxConflicts, "max-conflicts", 0, "per-signature solver conflict budget (0 = unlimited)")
 	flag.Parse()
 	if *mappingPath == "" || *factsPath == "" || *queriesPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*mappingPath, *factsPath, *queriesPath, cfg); err != nil {
+	degraded, err := run(*mappingPath, *factsPath, *queriesPath, cfg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "xrquery:", err)
 		os.Exit(1)
+	}
+	if degraded {
+		// Answers were printed but are a lower bound; distinct exit code so
+		// scripts can tell a degraded run from a complete one.
+		os.Exit(3)
 	}
 }
 
@@ -72,6 +94,15 @@ func (c config) queryOptions() []repro.Option {
 	}
 	if c.parallel != 1 {
 		opts = append(opts, repro.WithParallelism(c.parallel))
+	}
+	if c.sigTimeout > 0 {
+		opts = append(opts, repro.WithSignatureTimeout(c.sigTimeout))
+	}
+	if c.maxDecisions > 0 || c.maxConflicts > 0 {
+		opts = append(opts, repro.WithSolveBudget(c.maxDecisions, c.maxConflicts))
+	}
+	if c.partial {
+		opts = append(opts, repro.WithPartialResults(true))
 	}
 	if c.trace {
 		opts = append(opts, repro.WithSolverTrace(func(ev repro.TraceEvent) {
@@ -89,12 +120,12 @@ func (c config) queryOptions() []repro.Option {
 	return opts
 }
 
-func run(mappingPath, factsPath, queriesPath string, cfg config) error {
+func run(mappingPath, factsPath, queriesPath string, cfg config) (degraded bool, err error) {
 	if cfg.metricsAddr != "" {
 		cfg.metrics = repro.NewMetrics()
 		srv, err := repro.ServeMetrics(cfg.metricsAddr, cfg.metrics)
 		if err != nil {
-			return err
+			return false, err
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "xrquery: metrics on http://%s/metrics\n", srv.Addr())
@@ -108,23 +139,23 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) error {
 	}
 	sys, err := loadSystem(mappingPath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	factsText, err := os.ReadFile(factsPath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	in, err := sys.ParseFacts(string(factsText))
 	if err != nil {
-		return fmt.Errorf("parsing %s: %w", factsPath, err)
+		return false, fmt.Errorf("parsing %s: %w", factsPath, err)
 	}
 	queryText, err := os.ReadFile(queriesPath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	queries, err := sys.ParseQueries(string(queryText))
 	if err != nil {
-		return fmt.Errorf("parsing %s: %w", queriesPath, err)
+		return false, fmt.Errorf("parsing %s: %w", queriesPath, err)
 	}
 
 	fmt.Printf("# mapping: %s; instance: %d facts; consistent: %v\n",
@@ -135,7 +166,7 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) error {
 	case "seg":
 		ex, err := sys.NewExchange(in, opts...)
 		if err != nil {
-			return err
+			return false, err
 		}
 		st := ex.Stats()
 		fmt.Printf("# exchange phase: %v (violations=%d clusters=%d suspect=%d)\n",
@@ -143,13 +174,19 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) error {
 		for _, q := range queries {
 			ans, err := ex.Answer(q, opts...)
 			if err != nil {
-				return err // already carries the query name
+				return degraded, err // already carries the query name
+			}
+			if ans.Partial() {
+				degraded = true
 			}
 			printAnswers(q.Name(), ans, cfg.stats)
 			if cfg.possible {
 				poss, err := ex.Possible(q, opts...)
 				if err != nil {
-					return fmt.Errorf("possible: %w", err)
+					return degraded, fmt.Errorf("possible: %w", err)
+				}
+				if poss.Partial() {
+					degraded = true
 				}
 				printAnswers(q.Name()+" [possible]", poss, cfg.stats)
 			}
@@ -157,7 +194,7 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) error {
 	case "mono":
 		answers, errs, err := sys.MonolithicAnswers(in, queries, opts...)
 		if err != nil {
-			return err
+			return false, err
 		}
 		for i, q := range queries {
 			if errors.Is(errs[i], repro.ErrTimeout) {
@@ -170,15 +207,15 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) error {
 	case "brute":
 		answers, err := sys.BruteForceAnswers(in, queries, opts...)
 		if err != nil {
-			return err
+			return false, err
 		}
 		for i, q := range queries {
 			printAnswers(q.Name(), answers[i], cfg.stats)
 		}
 	default:
-		return fmt.Errorf("unknown engine %q (want seg, mono, or brute)", cfg.engine)
+		return false, fmt.Errorf("unknown engine %q (want seg, mono, or brute)", cfg.engine)
 	}
-	return nil
+	return degraded, nil
 }
 
 func loadSystem(path string) (*repro.System, error) {
@@ -201,7 +238,27 @@ func printAnswers(name string, ans *repro.Answers, stats bool) {
 	} else {
 		fmt.Printf("%s: %d answers\n", name, len(ans.Tuples))
 	}
+	if ans.Partial() {
+		fmt.Printf("%s: PARTIAL — %d signature(s) undecided, %d tuple(s) unknown (answers are a sound lower bound)\n",
+			name, ans.DegradedSignatures, ans.UnknownTuples)
+		for _, d := range ans.Degraded {
+			fmt.Printf("  # degraded {%s}: %d tuple(s), %d retr%s: %v\n",
+				d.Signature, d.Tuples, d.Retries, plural(d.Retries, "y", "ies"), d.Err)
+		}
+	}
 	for _, row := range ans.Tuples {
 		fmt.Printf("  %s(%s)\n", name, strings.Join(row, ", "))
 	}
+	// Unknown tuples print with a leading `?`: they may or may not be
+	// XR-Certain answers (the truth lies between Tuples and Tuples+Unknown).
+	for _, row := range ans.Unknown {
+		fmt.Printf("  ? %s(%s)\n", name, strings.Join(row, ", "))
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

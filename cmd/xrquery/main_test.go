@@ -37,8 +37,12 @@ func TestRunAllEngines(t *testing.T) {
 	m, f, q := fixtureFiles(t)
 	for _, engine := range []string{"seg", "mono", "brute"} {
 		cfg := config{engine: engine, timeout: time.Minute, parallel: 2, stats: true, trace: true, possible: engine == "seg"}
-		if err := run(m, f, q, cfg); err != nil {
+		degraded, err := run(m, f, q, cfg)
+		if err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if degraded {
+			t.Fatalf("engine %s: unexpectedly degraded", engine)
 		}
 	}
 }
@@ -50,11 +54,11 @@ func TestRunWithMetrics(t *testing.T) {
 	m, f, q := fixtureFiles(t)
 	for _, engine := range []string{"seg", "mono", "brute"} {
 		cfg := config{engine: engine, parallel: 1, metricsAddr: "127.0.0.1:0"}
-		if err := run(m, f, q, cfg); err != nil {
+		if _, err := run(m, f, q, cfg); err != nil {
 			t.Fatalf("engine %s with metrics: %v", engine, err)
 		}
 	}
-	if err := run(m, f, q, config{engine: "seg", parallel: 1, metricsAddr: "256.0.0.1:bad"}); err == nil {
+	if _, err := run(m, f, q, config{engine: "seg", parallel: 1, metricsAddr: "256.0.0.1:bad"}); err == nil {
 		t.Fatal("unusable metrics address accepted")
 	}
 }
@@ -62,18 +66,37 @@ func TestRunWithMetrics(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	m, f, q := fixtureFiles(t)
 	seg := config{engine: "seg", parallel: 1}
-	if err := run(m, f, q, config{engine: "warp", parallel: 1}); err == nil {
+	if _, err := run(m, f, q, config{engine: "warp", parallel: 1}); err == nil {
 		t.Fatal("unknown engine accepted")
 	}
-	if err := run("/nonexistent.map", f, q, seg); err == nil {
+	if _, err := run("/nonexistent.map", f, q, seg); err == nil {
 		t.Fatal("missing mapping accepted")
 	}
 	bad := writeTemp(t, "bad.map", "gibberish")
-	if err := run(bad, f, q, seg); err == nil {
+	if _, err := run(bad, f, q, seg); err == nil {
 		t.Fatal("bad mapping accepted")
 	}
 	badFacts := writeTemp(t, "bad.facts", "Nope(1).")
-	if err := run(m, badFacts, q, seg); err == nil {
+	if _, err := run(m, badFacts, q, seg); err == nil {
 		t.Fatal("bad facts accepted")
+	}
+}
+
+// TestRunPartial drives the -partial path end to end: a one-decision
+// budget exhausts on the fixture's conflicted signature, the run degrades
+// instead of failing, and the degraded flag (exit code 3 in main) is set.
+func TestRunPartial(t *testing.T) {
+	m, f, q := fixtureFiles(t)
+	strict := config{engine: "seg", parallel: 1, maxDecisions: 1}
+	if _, err := run(m, f, q, strict); err == nil {
+		t.Fatal("budget exhaustion without -partial should fail the run")
+	}
+	partial := config{engine: "seg", parallel: 1, maxDecisions: 1, partial: true, stats: true}
+	degraded, err := run(m, f, q, partial)
+	if err != nil {
+		t.Fatalf("partial run failed: %v", err)
+	}
+	if !degraded {
+		t.Fatal("partial run with a 1-decision budget did not degrade")
 	}
 }

@@ -1,0 +1,161 @@
+package asp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pigeonhole builds the classic PHP(n+1, n) instance: n+1 pigeons in n
+// holes, unsatisfiable, with exponentially sized resolution proofs — a
+// reliable way to make a CDCL solver burn decisions and conflicts.
+func pigeonhole(n int) *Solver {
+	s := NewSolver()
+	v := func(p, h int) Lit { return PosLit(Var(p*n + h + 1)) }
+	for i := 0; i < (n+1)*n; i++ {
+		s.NewVar()
+	}
+	for p := 0; p <= n; p++ {
+		clause := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			clause[h] = v(p, h)
+		}
+		s.AddClause(clause...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(v(p1, h).Neg(), v(p2, h).Neg())
+			}
+		}
+	}
+	return s
+}
+
+// TestBudgetExhaustsHardInstance: on a hard UNSAT instance a small
+// decision budget stops the search with Exhausted() set, while the
+// unbudgeted solver proves UNSAT with Exhausted() false.
+func TestBudgetExhaustsHardInstance(t *testing.T) {
+	free := pigeonhole(7)
+	if free.Solve() {
+		t.Fatal("PHP(8,7) reported SAT")
+	}
+	if free.Exhausted() {
+		t.Fatal("unbudgeted solver reports Exhausted")
+	}
+	need := free.Decisions
+	if need < 10 {
+		t.Fatalf("PHP(8,7) took only %d decisions; not a budget-worthy instance", need)
+	}
+
+	capped := pigeonhole(7)
+	capped.SetBudget(need/2, 0)
+	if capped.Solve() {
+		t.Fatal("budgeted solver reported SAT")
+	}
+	if !capped.Exhausted() {
+		t.Fatal("budgeted solver did not report Exhausted")
+	}
+	if capped.Decisions > need/2 {
+		t.Fatalf("budgeted solver spent %d decisions, cap was %d", capped.Decisions, need/2)
+	}
+	// An exhausted "false" is indistinguishable from UNSAT by return value
+	// alone; Exhausted() is the discriminator callers must consult.
+}
+
+// TestConflictBudget: the conflict counter is capped independently.
+func TestConflictBudget(t *testing.T) {
+	s := pigeonhole(7)
+	s.SetBudget(0, 5)
+	s.Solve()
+	if !s.Exhausted() {
+		t.Fatal("conflict budget did not exhaust")
+	}
+	if s.Conflicts > 6 {
+		t.Fatalf("solver ran %d conflicts past a cap of 5", s.Conflicts)
+	}
+}
+
+// TestBudgetLatches: once exhausted, later Solve calls return immediately
+// without further work (the budget is cumulative across calls).
+func TestBudgetLatches(t *testing.T) {
+	s := pigeonhole(7)
+	s.SetBudget(10, 0)
+	s.Solve()
+	if !s.Exhausted() {
+		t.Fatal("did not exhaust")
+	}
+	d := s.Decisions
+	if s.Solve() {
+		t.Fatal("latched solver reported SAT")
+	}
+	if s.Decisions != d {
+		t.Fatalf("latched solver kept deciding: %d -> %d", d, s.Decisions)
+	}
+}
+
+// TestBudgetDeterministic: exhaustion is a pure function of the budget —
+// the same instance and cap stop at identical counter values every run.
+func TestBudgetDeterministic(t *testing.T) {
+	counters := func() string {
+		s := pigeonhole(7)
+		s.SetBudget(50, 0)
+		s.Solve()
+		return fmt.Sprintf("d=%d c=%d p=%d", s.Decisions, s.Conflicts, s.Propagations)
+	}
+	base := counters()
+	for i := 0; i < 3; i++ {
+		if got := counters(); got != base {
+			t.Fatalf("run %d diverged: %s vs %s", i, got, base)
+		}
+	}
+}
+
+// TestStableSolverBudget: the budget threads through the stable-model
+// layer — an exhausted StableSolver stops enumerating and reports
+// Exhausted, and an ample budget leaves results identical to no budget.
+func TestStableSolverBudget(t *testing.T) {
+	// A disjunctive program with many stable models (one per 3-coloring).
+	text := `
+node(a). node(b). node(c). node(d).
+edge(a,b). edge(b,c). edge(c,d). edge(d,a).
+col(X,r) | col(X,g) | col(X,bl) :- node(X).
+:- edge(X,Y), col(X,C), col(Y,C).
+`
+	prog, err := ParseProgram(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := prog.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	free := NewStableSolver(gp)
+	models := 0
+	free.Enumerate(func([]bool) bool { models++; return true })
+	if models == 0 {
+		t.Fatal("4-cycle 3-coloring has no models?")
+	}
+	if free.Exhausted() {
+		t.Fatal("unbudgeted stable solver reports Exhausted")
+	}
+
+	capped := NewStableSolver(gp)
+	capped.SetBudget(1, 0)
+	got := 0
+	capped.Enumerate(func([]bool) bool { got++; return true })
+	if !capped.Exhausted() {
+		t.Fatal("1-decision budget did not exhaust stable enumeration")
+	}
+	if got >= models {
+		t.Fatalf("budgeted enumeration found all %d models", models)
+	}
+
+	ample := NewStableSolver(gp)
+	ample.SetBudget(1_000_000, 1_000_000)
+	got = 0
+	ample.Enumerate(func([]bool) bool { got++; return true })
+	if ample.Exhausted() || got != models {
+		t.Fatalf("ample budget: %d models (want %d), exhausted=%v", got, models, ample.Exhausted())
+	}
+}

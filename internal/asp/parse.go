@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // ParseProgram reads a symbolic disjunctive logic program in a subset of
@@ -85,6 +86,14 @@ func (p *lpParser) consume(s string) bool {
 	return true
 }
 
+// startsUpper decodes the first rune of an identifier (which may be
+// multi-byte) and reports whether it is upper case; indexing name[0] would
+// misclassify non-ASCII identifiers by testing a UTF-8 lead byte.
+func startsUpper(name string) bool {
+	r, _ := utf8.DecodeRuneInString(name)
+	return unicode.IsUpper(r)
+}
+
 func isWordRune(c rune) bool {
 	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
 }
@@ -109,7 +118,7 @@ func (p *lpParser) term() (SymTerm, error) {
 	if err != nil {
 		return SymTerm{}, err
 	}
-	if unicode.IsUpper(rune(name[0])) {
+	if startsUpper(name) {
 		return SV(name), nil
 	}
 	return SC(name), nil
@@ -121,7 +130,7 @@ func (p *lpParser) atom() (SymAtom, error) {
 	if err != nil {
 		return SymAtom{}, err
 	}
-	if unicode.IsUpper(rune(name[0])) {
+	if startsUpper(name) {
 		return SymAtom{}, p.errf("predicate %q must start lowercase", name)
 	}
 	a := SymAtom{Pred: name}

@@ -97,6 +97,14 @@ type Solver struct {
 	cancel *atomic.Bool    // cooperative cancellation; nil = never
 	ctx    context.Context // context-based cancellation; nil = never
 
+	// Budget: cooperative effort limits over the cumulative Decisions and
+	// Conflicts counters (0 = unlimited). Crossing a limit sets exhausted
+	// and makes in-flight and future Solve calls return false promptly.
+	// Unlike wall-clock timeouts the cutoff point is a deterministic,
+	// machine-independent function of the clause database.
+	maxDecisions, maxConflicts int64
+	exhausted                  bool
+
 	// Stats. Restarts counts Luby budget renewals after the initial one of
 	// each Solve call (i.e. genuine search restarts).
 	Conflicts, Decisions, Propagations, Restarts int64
@@ -453,6 +461,37 @@ func (s *Solver) Canceled() bool {
 	return s.ctx != nil && s.ctx.Err() != nil
 }
 
+// SetBudget installs effort limits on the cumulative Decisions and
+// Conflicts counters (0 = unlimited). Once either limit is reached,
+// in-flight and future Solve calls return false promptly; check Exhausted
+// to distinguish budget exhaustion from unsatisfiability. Budgets count
+// across all Solve calls of the solver's lifetime, so a limit bounds the
+// total effort of an enumeration or cautious-reasoning session, not a
+// single search.
+func (s *Solver) SetBudget(maxDecisions, maxConflicts int64) {
+	s.maxDecisions = maxDecisions
+	s.maxConflicts = maxConflicts
+}
+
+// Exhausted reports whether a SetBudget limit was reached. It is sticky:
+// once set, every later Solve call returns false, and any result derived
+// from the interrupted search must be discarded by the caller.
+func (s *Solver) Exhausted() bool { return s.exhausted }
+
+// overBudget checks the budget limits (cheap integer compares, safe to run
+// every search iteration) and latches exhausted on the first crossing.
+func (s *Solver) overBudget() bool {
+	if s.exhausted {
+		return true
+	}
+	if (s.maxDecisions > 0 && s.Decisions >= s.maxDecisions) ||
+		(s.maxConflicts > 0 && s.Conflicts >= s.maxConflicts) {
+		s.exhausted = true
+		return true
+	}
+	return false
+}
+
 // Solve searches for a model under the given assumptions. It returns true
 // and fixes the model (read with ModelValue) or false if unsatisfiable
 // under the assumptions (or the solver was cancelled). The solver
@@ -471,6 +510,9 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 	for {
 		checkTick++
 		if checkTick&1023 == 0 && s.Canceled() {
+			return false
+		}
+		if s.overBudget() {
 			return false
 		}
 		if conflictsLeft <= 0 {

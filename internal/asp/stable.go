@@ -88,6 +88,20 @@ func (s *StableSolver) SetContext(ctx context.Context) { s.sat.SetContext(ctx) }
 // Canceled reports whether the cancellation flag is set.
 func (s *StableSolver) Canceled() bool { return s.sat.Canceled() }
 
+// SetBudget installs decision/conflict effort limits (0 = unlimited) on the
+// underlying SAT solver; see Solver.SetBudget. The budget covers the whole
+// stable-model session (all candidate searches of an Enumerate, Cautious,
+// or Brave call), not one SAT search. When the budget runs out mid-session
+// the session ends early with "no more models"; callers must check
+// Exhausted and discard the partial result (Cautious's narrowing, for
+// example, over-approximates when cut short).
+func (s *StableSolver) SetBudget(maxDecisions, maxConflicts int64) {
+	s.sat.SetBudget(maxDecisions, maxConflicts)
+}
+
+// Exhausted reports whether the SetBudget limit was reached (sticky).
+func (s *StableSolver) Exhausted() bool { return s.sat.Exhausted() }
+
 // AddTheoryClause adds a clause over program atoms (built with AtomLit) to
 // the solver before or between searches. The clause must be sound for the
 // caller's theory — it must never exclude a model the caller would accept.
@@ -249,6 +263,13 @@ func (s *StableSolver) minimize(m []bool) []bool {
 // On failure it returns the smaller reduct model.
 func (s *StableSolver) checkStable(m []bool) (bool, []bool) {
 	sub := NewSolver()
+	// The secondary search inherits the primary solver's cancellation
+	// sources so a per-signature timeout also bounds the coNP-hard check;
+	// it runs unbudgeted (the effort budget is a property of the primary
+	// search) but any result reached after cancellation is discarded by the
+	// callers' Canceled checks.
+	sub.cancel = s.sat.cancel
+	sub.ctx = s.sat.ctx
 	subVar := make(map[AtomID]Var)
 	varOf := func(a AtomID) Var {
 		if v, ok := subVar[a]; ok {
@@ -632,7 +653,7 @@ func modelsEqual(a, b []bool) bool {
 // runs (stability checking is coNP-hard there).
 func (s *StableSolver) NextStable() []bool {
 	for {
-		if s.Canceled() || !s.sat.Solve() {
+		if s.Canceled() || s.sat.Exhausted() || !s.sat.Solve() {
 			return nil
 		}
 		s.CandidatesTested++
@@ -682,6 +703,11 @@ func (s *StableSolver) NextStable() []bool {
 			continue
 		}
 		m := s.minimize(s.model())
+		if s.sat.Exhausted() {
+			// minimize was cut short; m may not be minimal, so the
+			// stability check below could misclassify it. End the session.
+			return nil
+		}
 		ok, smaller := s.checkStable(m)
 		if ok {
 			if !s.accept(m) {

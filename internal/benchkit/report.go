@@ -27,16 +27,20 @@ type ExchangeReport struct {
 
 // QueryReport is one segmentary query's wall time and stats.
 type QueryReport struct {
-	Query          string  `json:"query"`
-	Answers        int     `json:"answers"`
-	Candidates     int     `json:"candidates"`
-	SafeAccepted   int     `json:"safe_accepted"`
-	SolverAccepted int     `json:"solver_accepted"`
-	Programs       int     `json:"programs"`
-	CacheHits      int     `json:"cache_hits"`
-	GroundRules    int     `json:"ground_rules"`
-	GroundAtoms    int     `json:"ground_atoms"`
-	Seconds        float64 `json:"seconds"`
+	Query          string `json:"query"`
+	Answers        int    `json:"answers"`
+	Candidates     int    `json:"candidates"`
+	SafeAccepted   int    `json:"safe_accepted"`
+	SolverAccepted int    `json:"solver_accepted"`
+	Programs       int    `json:"programs"`
+	CacheHits      int    `json:"cache_hits"`
+	GroundRules    int    `json:"ground_rules"`
+	GroundAtoms    int    `json:"ground_atoms"`
+	// DegradedSignatures and UnknownTuples record graceful degradation
+	// under partial-results mode; both stay 0 on an unbudgeted run.
+	DegradedSignatures int     `json:"degraded_signatures"`
+	UnknownTuples      int     `json:"unknown_tuples"`
+	Seconds            float64 `json:"seconds"`
 }
 
 // BenchReport is the machine-readable result of one benchmark run on a
@@ -105,16 +109,18 @@ func (r *Runner) Report(profile string) (*BenchReport, error) {
 			return nil, fmt.Errorf("benchkit: report query %s: %w", q.Name, err)
 		}
 		rep.Queries = append(rep.Queries, QueryReport{
-			Query:          q.Name,
-			Answers:        res.Answers.Len(),
-			Candidates:     res.Stats.Candidates,
-			SafeAccepted:   res.Stats.SafeAccepted,
-			SolverAccepted: res.Stats.SolverAccepted,
-			Programs:       res.Stats.Programs,
-			CacheHits:      res.Stats.CacheHits,
-			GroundRules:    res.Stats.GroundRules,
-			GroundAtoms:    res.Stats.GroundAtoms,
-			Seconds:        time.Since(start).Seconds(),
+			Query:              q.Name,
+			Answers:            res.Answers.Len(),
+			Candidates:         res.Stats.Candidates,
+			SafeAccepted:       res.Stats.SafeAccepted,
+			SolverAccepted:     res.Stats.SolverAccepted,
+			Programs:           res.Stats.Programs,
+			CacheHits:          res.Stats.CacheHits,
+			GroundRules:        res.Stats.GroundRules,
+			GroundAtoms:        res.Stats.GroundAtoms,
+			DegradedSignatures: res.Stats.DegradedSignatures,
+			UnknownTuples:      res.Stats.UnknownTuples,
+			Seconds:            time.Since(start).Seconds(),
 		})
 	}
 	rep.Metrics = r.Metrics.Snapshot()

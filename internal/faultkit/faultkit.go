@@ -1,0 +1,222 @@
+// Package faultkit provides deterministic, seed-keyed fault injection for
+// chaos-testing the xr engines' degradation paths.
+//
+// An Injector holds a set of fault specifications and compiles to a hook
+// compatible with xr's Options.FaultHook (func(site, key string) error).
+// Whether a fault fires at a given (site, key) is a pure function of the
+// injector seed and the pair — an FNV-1a hash thresholded against the
+// fault's rate — never of time, scheduling, or math/rand state. The same
+// seed therefore produces the same fault pattern at any parallelism and on
+// every run, which is what lets chaos tests assert byte-identical answers
+// and exact soundness envelopes instead of merely "did not crash".
+//
+// The injection sites mirror the string constants fired by internal/xr
+// ("solve", "ground", "cache"); faultkit deliberately duplicates them so
+// the engines never import the testing harness.
+package faultkit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Injection sites fired by the xr engines. The values must match the
+// site names xr passes to Options.FaultHook.
+const (
+	SiteSolve  = "solve"  // before cautious/brave reasoning on a signature program
+	SiteGround = "ground" // before a signature program's base grounding
+	SiteCache  = "cache"  // on a signature-program cache hit
+)
+
+// Kind enumerates the supported fault kinds.
+type Kind int
+
+const (
+	// SolveDelay sleeps Delay at the solve site and lets solving proceed;
+	// combined with a small SignatureTimeout it forces per-signature
+	// timeouts without patching the solver.
+	SolveDelay Kind = iota
+	// SolvePanic panics at the solve site, exercising the worker-pool
+	// panic containment (the engine must convert it to ErrInternal).
+	SolvePanic
+	// GroundErr returns an error at the ground site, simulating a failed
+	// signature-program grounding.
+	GroundErr
+	// CacheCorrupt returns an error at the cache site, reporting the
+	// cached signature program as corrupt; the engine must discard the
+	// entry and rebuild it with identical answers.
+	CacheCorrupt
+)
+
+// String names the kind for test output.
+func (k Kind) String() string {
+	switch k {
+	case SolveDelay:
+		return "SolveDelay"
+	case SolvePanic:
+		return "SolvePanic"
+	case GroundErr:
+		return "GroundErr"
+	case CacheCorrupt:
+		return "CacheCorrupt"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// site returns the injection site the kind fires at.
+func (k Kind) site() string {
+	switch k {
+	case GroundErr:
+		return SiteGround
+	case CacheCorrupt:
+		return SiteCache
+	default:
+		return SiteSolve
+	}
+}
+
+// ErrInjected is the default error carried by injected GroundErr and
+// CacheCorrupt faults.
+var ErrInjected = errors.New("faultkit: injected fault")
+
+// Fault is one fault specification.
+type Fault struct {
+	Kind Kind
+	// Match restricts the fault to one exact key (a signature key for the
+	// segmentary engine, a query name for the monolithic engine); empty
+	// matches every key.
+	Match string
+	// Rate is the firing probability in (0, 1], decided by the seed-keyed
+	// hash of (site, key); values <= 0 or >= 1 mean "always fire" (on
+	// matching keys).
+	Rate float64
+	// Count caps the total number of firings (0 = unlimited). Unlike the
+	// hash decision the cap is order-sensitive under parallelism, so
+	// deterministic tests should prefer Match/Rate and leave Count zero.
+	Count int
+	// Delay is the sleep of a SolveDelay fault.
+	Delay time.Duration
+	// Err overrides ErrInjected for GroundErr / CacheCorrupt faults.
+	Err error
+}
+
+// Injector decides and counts fault firings. Safe for concurrent use.
+type Injector struct {
+	seed   uint64
+	faults []Fault
+
+	mu    sync.Mutex
+	fired map[Kind]int
+	count []int // per-fault firing counts, for Count caps
+}
+
+// New builds an injector over the given faults; seed keys every firing
+// decision.
+func New(seed uint64, faults ...Fault) *Injector {
+	return &Injector{
+		seed:   seed,
+		faults: faults,
+		fired:  make(map[Kind]int),
+		count:  make([]int, len(faults)),
+	}
+}
+
+// Fired returns how many times faults of kind k fired so far. Chaos tests
+// use it to prove a run was non-vacuous (the faults actually hit).
+func (inj *Injector) Fired(k Kind) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired[k]
+}
+
+// decide reports whether fault fi fires at (site, key): the fault's site
+// and Match must agree, the seed-keyed hash must clear the rate, and a
+// Count cap must not be spent. The hash decision is a pure function of
+// (seed, fault index, site, key).
+func (inj *Injector) decide(fi int, site, key string) bool {
+	f := &inj.faults[fi]
+	if f.Kind.site() != site {
+		return false
+	}
+	if f.Match != "" && f.Match != key {
+		return false
+	}
+	if f.Rate > 0 && f.Rate < 1 {
+		h := fnv1a(inj.seed + uint64(fi)*0x9e3779b97f4a7c15)
+		h = fnv1aString(h, site)
+		h = fnv1aString(h, key)
+		// FNV's high bits avalanche poorly on short inputs; finalize with a
+		// splitmix64-style mix before thresholding into [0, 1).
+		h = mix(h)
+		if float64(h>>11)/(1<<53) >= f.Rate {
+			return false
+		}
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if f.Count > 0 && inj.count[fi] >= f.Count {
+		return false
+	}
+	inj.count[fi]++
+	inj.fired[f.Kind]++
+	return true
+}
+
+// Hook compiles the injector into an Options.FaultHook-compatible
+// function. A SolveDelay fault sleeps and returns nil; a SolvePanic fault
+// panics; GroundErr and CacheCorrupt return their error.
+func (inj *Injector) Hook() func(site, key string) error {
+	return func(site, key string) error {
+		for fi := range inj.faults {
+			if !inj.decide(fi, site, key) {
+				continue
+			}
+			f := &inj.faults[fi]
+			switch f.Kind {
+			case SolveDelay:
+				time.Sleep(f.Delay)
+			case SolvePanic:
+				panic(fmt.Sprintf("faultkit: injected panic at %s/%s", site, key))
+			default:
+				if f.Err != nil {
+					return fmt.Errorf("%s at %s/%s: %w", f.Kind, site, key, f.Err)
+				}
+				return fmt.Errorf("%s at %s/%s: %w", f.Kind, site, key, ErrInjected)
+			}
+		}
+		return nil
+	}
+}
+
+// mix is the splitmix64 finalizer: full-avalanche bit diffusion so the
+// thresholded high bits are uniform even for near-identical inputs.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// fnv1a folds a uint64 into an FNV-1a hash byte by byte.
+func fnv1a(v uint64) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 0x100000001b3
+		v >>= 8
+	}
+	return h
+}
+
+// fnv1aString continues an FNV-1a hash over a string.
+func fnv1aString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

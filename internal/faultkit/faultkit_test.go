@@ -1,0 +1,174 @@
+package faultkit
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHookDeterministic proves the firing decision is a pure function of
+// (seed, site, key): two injectors with the same seed agree on every pair,
+// and a different seed produces a different pattern somewhere.
+func TestHookDeterministic(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	pattern := func(seed uint64) []bool {
+		inj := New(seed, Fault{Kind: GroundErr, Rate: 0.5})
+		hook := inj.Hook()
+		out := make([]bool, len(keys))
+		for i, k := range keys {
+			out[i] = hook(SiteGround, k) != nil
+		}
+		return out
+	}
+	p1, p2 := pattern(42), pattern(42)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same seed disagrees at key %q", keys[i])
+		}
+	}
+	p3 := pattern(43)
+	same := true
+	for i := range p1 {
+		if p1[i] != p3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical patterns over %d keys", len(keys))
+	}
+}
+
+// TestRateZeroAndOne: rate 0 (or unset) and rate 1 both mean always-fire
+// on matching keys.
+func TestRateZeroAndOne(t *testing.T) {
+	for _, rate := range []float64{0, 1} {
+		inj := New(1, Fault{Kind: GroundErr, Rate: rate})
+		hook := inj.Hook()
+		if hook(SiteGround, "k") == nil {
+			t.Fatalf("rate %v: expected fault to fire", rate)
+		}
+	}
+}
+
+// TestMatchRestrictsKey: a Match fault fires only on its exact key and
+// only at its kind's site.
+func TestMatchRestrictsKey(t *testing.T) {
+	inj := New(1, Fault{Kind: GroundErr, Match: "target"})
+	hook := inj.Hook()
+	if err := hook(SiteGround, "other"); err != nil {
+		t.Fatalf("fired on non-matching key: %v", err)
+	}
+	if err := hook(SiteSolve, "target"); err != nil {
+		t.Fatalf("fired on wrong site: %v", err)
+	}
+	if err := hook(SiteGround, "target"); err == nil {
+		t.Fatal("did not fire on matching key at matching site")
+	}
+	if got := inj.Fired(GroundErr); got != 1 {
+		t.Fatalf("Fired(GroundErr) = %d, want 1", got)
+	}
+}
+
+// TestCountCap: a Count cap stops firing after the cap is spent, even
+// under concurrent use.
+func TestCountCap(t *testing.T) {
+	inj := New(1, Fault{Kind: CacheCorrupt, Count: 3})
+	hook := inj.Hook()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		hits int
+	)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if hook(SiteCache, "k") != nil {
+				mu.Lock()
+				hits++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if hits != 3 {
+		t.Fatalf("fired %d times, want 3", hits)
+	}
+	if got := inj.Fired(CacheCorrupt); got != 3 {
+		t.Fatalf("Fired(CacheCorrupt) = %d, want 3", got)
+	}
+}
+
+// TestErrWrapping: injected errors match ErrInjected (or the override)
+// under errors.Is.
+func TestErrWrapping(t *testing.T) {
+	inj := New(1, Fault{Kind: GroundErr})
+	if err := inj.Hook()(SiteGround, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error %v does not wrap ErrInjected", err)
+	}
+	custom := errors.New("disk on fire")
+	inj2 := New(1, Fault{Kind: CacheCorrupt, Err: custom})
+	if err := inj2.Hook()(SiteCache, "k"); !errors.Is(err, custom) {
+		t.Fatalf("error %v does not wrap the override", err)
+	}
+}
+
+// TestSolvePanicPanics: a SolvePanic fault panics at the solve site.
+func TestSolvePanicPanics(t *testing.T) {
+	inj := New(1, Fault{Kind: SolvePanic, Match: "sig"})
+	hook := inj.Hook()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+		if got := inj.Fired(SolvePanic); got != 1 {
+			t.Fatalf("Fired(SolvePanic) = %d, want 1", got)
+		}
+	}()
+	hook(SiteSolve, "sig")
+}
+
+// TestSolveDelaySleeps: a SolveDelay fault sleeps at least Delay and
+// returns nil (solving proceeds).
+func TestSolveDelaySleeps(t *testing.T) {
+	inj := New(1, Fault{Kind: SolveDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := inj.Hook()(SiteSolve, "k"); err != nil {
+		t.Fatalf("SolveDelay returned error %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("slept only %v, want >= 20ms", d)
+	}
+}
+
+// TestKindString covers the debug names.
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		SolveDelay: "SolveDelay", SolvePanic: "SolvePanic",
+		GroundErr: "GroundErr", CacheCorrupt: "CacheCorrupt",
+		Kind(99): "Kind(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+// TestRateSelectivity sanity-checks the hash threshold: over many keys a
+// 0.3-rate fault should fire on some but not all.
+func TestRateSelectivity(t *testing.T) {
+	inj := New(7, Fault{Kind: GroundErr, Rate: 0.3})
+	hook := inj.Hook()
+	fired := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		if hook(SiteGround, string(rune('a'+i%26))+string(rune('0'+i/26))) != nil {
+			fired++
+		}
+	}
+	if fired == 0 || fired == n {
+		t.Fatalf("rate 0.3 fired %d/%d — threshold not selective", fired, n)
+	}
+}

@@ -161,11 +161,14 @@ func (r *relation) remove(k string) bool {
 	return true
 }
 
-// Add inserts a fact and reports whether it was newly added.
-// The argument slice is retained; callers must not mutate it afterwards.
-func (in *Instance) Add(rel schema.RelID, args []symtab.Value) bool {
+// Insert inserts a fact, reporting whether it was newly added. An
+// argument count that does not match the relation's declared arity
+// returns a *schema.ArityError instead of corrupting the relation; use
+// Insert (not Add) on untrusted input. The argument slice is retained;
+// callers must not mutate it afterwards.
+func (in *Instance) Insert(rel schema.RelID, args []symtab.Value) (bool, error) {
 	if want := in.cat.ByID(rel).Arity; len(args) != want {
-		panic(fmt.Sprintf("instance: %s expects %d args, got %d", in.cat.ByID(rel).Name, want, len(args)))
+		return false, fmt.Errorf("instance: %w", &schema.ArityError{Rel: in.cat.ByID(rel).Name, Want: want, Got: len(args)})
 	}
 	r, ok := in.rels[rel]
 	if !ok {
@@ -173,10 +176,24 @@ func (in *Instance) Add(rel schema.RelID, args []symtab.Value) bool {
 		in.rels[rel] = r
 	}
 	if !r.add(EncodeTuple(args), args) {
-		return false
+		return false, nil
 	}
 	in.size++
-	return true
+	return true, nil
+}
+
+// InsertFact inserts f; see Insert.
+func (in *Instance) InsertFact(f Fact) (bool, error) { return in.Insert(f.Rel, f.Args) }
+
+// Add is the Must-style form of Insert for static setup code and internal
+// callers whose arities are correct by construction: it panics with a
+// *schema.ArityError on mismatch.
+func (in *Instance) Add(rel schema.RelID, args []symtab.Value) bool {
+	added, err := in.Insert(rel, args)
+	if err != nil {
+		panic(err)
+	}
+	return added
 }
 
 // AddFact inserts f; see Add.

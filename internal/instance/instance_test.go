@@ -1,6 +1,7 @@
 package instance
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/schema"
@@ -215,4 +216,36 @@ func TestFactKeyDistinguishesRelations(t *testing.T) {
 	if f1.Key() == f2.Key() {
 		t.Fatal("keys collide across relations")
 	}
+}
+
+// TestInsertArityError: a wrong-arity tuple is rejected with a typed
+// *schema.ArityError instead of panicking; Add panics with the same error.
+func TestInsertArityError(t *testing.T) {
+	cat := schema.NewCatalog()
+	r := cat.MustAdd("R", 2)
+	in := New(cat)
+	added, err := in.Insert(r.ID, []symtab.Value{1})
+	if added || err == nil {
+		t.Fatalf("Insert(%d args for arity 2) = %v, %v", 1, added, err)
+	}
+	var ae *schema.ArityError
+	if !errors.As(err, &ae) || ae.Rel != "R" || ae.Want != 2 || ae.Got != 1 {
+		t.Fatalf("error %v is not the expected ArityError", err)
+	}
+	if in.Len() != 0 {
+		t.Fatalf("failed Insert mutated the instance: %d facts", in.Len())
+	}
+	if _, err := in.InsertFact(Fact{Rel: r.ID, Args: []symtab.Value{1, 2, 3}}); !errors.As(err, &ae) {
+		t.Fatalf("InsertFact error %v is not an ArityError", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Add with wrong arity did not panic")
+		}
+		if perr, ok := r.(error); !ok || !errors.As(perr, &ae) {
+			t.Fatalf("Add panicked with %v, want an ArityError", r)
+		}
+	}()
+	in.Add(r.ID, []symtab.Value{1})
 }

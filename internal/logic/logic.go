@@ -44,12 +44,24 @@ type Atom struct {
 	Terms []Term
 }
 
-// NewAtom builds an atom and checks the arity against the catalog.
-func NewAtom(cat *schema.Catalog, rel *schema.Relation, terms ...Term) Atom {
+// MakeAtom builds an atom, returning a *schema.ArityError (wrapped) when
+// the term count does not match the relation's declared arity. Use it when
+// the terms come from untrusted input.
+func MakeAtom(cat *schema.Catalog, rel *schema.Relation, terms ...Term) (Atom, error) {
 	if len(terms) != rel.Arity {
-		panic(fmt.Sprintf("logic: %s expects %d terms, got %d", rel.Name, rel.Arity, len(terms)))
+		return Atom{}, fmt.Errorf("logic: %w", &schema.ArityError{Rel: rel.Name, Want: rel.Arity, Got: len(terms)})
 	}
-	return Atom{Rel: rel.ID, Terms: terms}
+	return Atom{Rel: rel.ID, Terms: terms}, nil
+}
+
+// NewAtom is the Must-style form of MakeAtom for static setup code: it
+// panics with a *schema.ArityError on mismatch.
+func NewAtom(cat *schema.Catalog, rel *schema.Relation, terms ...Term) Atom {
+	a, err := MakeAtom(cat, rel, terms...)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // Vars appends the variable names occurring in the atom to dst, in order of

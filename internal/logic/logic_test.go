@@ -1,6 +1,7 @@
 package logic
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/schema"
@@ -201,4 +202,29 @@ func TestWeaklyAcyclicRegularCycleOK(t *testing.T) {
 	if !WeaklyAcyclic([]*TGD{d1, d2}) {
 		t.Fatal("regular-only cycle should be weakly acyclic")
 	}
+}
+
+// TestMakeAtomArityError: MakeAtom returns a typed *schema.ArityError on a
+// term-count mismatch; NewAtom panics with the same error.
+func TestMakeAtomArityError(t *testing.T) {
+	cat := schema.NewCatalog()
+	r := cat.MustAdd("R", 2)
+	if _, err := MakeAtom(cat, r, V("x"), V("y")); err != nil {
+		t.Fatalf("well-formed MakeAtom failed: %v", err)
+	}
+	_, err := MakeAtom(cat, r, V("x"))
+	var ae *schema.ArityError
+	if !errors.As(err, &ae) || ae.Rel != "R" || ae.Want != 2 || ae.Got != 1 {
+		t.Fatalf("error %v is not the expected ArityError", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewAtom with wrong arity did not panic")
+		}
+		if perr, ok := r.(error); !ok || !errors.As(perr, &ae) {
+			t.Fatalf("NewAtom panicked with %v, want an ArityError", r)
+		}
+	}()
+	NewAtom(cat, r, V("x"), V("y"), V("z"))
 }

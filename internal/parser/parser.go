@@ -417,10 +417,9 @@ func ParseFacts(src string, w *World) (*instance.Instance, error) {
 		if _, err := p.expect(tokDot); err != nil {
 			return nil, err
 		}
-		if len(args) != rel.Arity {
-			return nil, fmt.Errorf("line %d: %s expects %d arguments, got %d", name.line, rel.Name, rel.Arity, len(args))
+		if _, err := in.Insert(rel.ID, args); err != nil {
+			return nil, fmt.Errorf("line %d: %v", name.line, err)
 		}
-		in.Add(rel.ID, args)
 	}
 	return in, nil
 }

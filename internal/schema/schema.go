@@ -23,6 +23,21 @@ type Relation struct {
 	Attrs []string // len == Arity when present; nil otherwise
 }
 
+// ArityError reports a tuple or term list whose length does not match its
+// relation's declared arity. It is returned by the error-returning
+// constructors (instance.Insert, logic.MakeAtom) and carried by the panics
+// of their Must-style wrappers, so callers handling untrusted input can
+// match it with errors.As.
+type ArityError struct {
+	Rel  string // relation name
+	Want int    // declared arity
+	Got  int    // supplied argument count
+}
+
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("%s expects %d arguments, got %d", e.Rel, e.Want, e.Got)
+}
+
 // Catalog owns every relation symbol in play: source relations, target
 // relations, and any auxiliary relations introduced by reductions.
 // The zero value is not usable; call NewCatalog.

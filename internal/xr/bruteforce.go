@@ -18,7 +18,8 @@ const maxBruteForceFacts = 22
 // (Definition 1): the maximal sub-instances that have a solution. It is
 // exponential in |src| and intended as a reference implementation for small
 // instances; it refuses instances larger than 22 facts.
-func SourceRepairs(m *mapping.Mapping, src *instance.Instance) ([]*instance.Instance, error) {
+func SourceRepairs(m *mapping.Mapping, src *instance.Instance) (repairs []*instance.Instance, err error) {
+	defer recoverInternal("source repairs", &err)
 	facts := src.Facts()
 	n := len(facts)
 	if n > maxBruteForceFacts {
@@ -41,7 +42,6 @@ func SourceRepairs(m *mapping.Mapping, src *instance.Instance) ([]*instance.Inst
 		consistent[bits] = v
 		return v
 	}
-	var repairs []*instance.Instance
 	for bits := uint32(0); bits < 1<<n; bits++ {
 		if !isConsistent(bits) {
 			continue
@@ -82,7 +82,8 @@ func BruteForce(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 // (the enumeration has no solver to cancel); each query is counted under
 // the engine name "bruteforce" and enumerated repairs feed
 // xr_repairs_enumerated_total.
-func BruteForceOpts(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ, opts Options) ([]*Result, error) {
+func BruteForceOpts(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ, opts Options) (results []*Result, err error) {
+	defer recoverInternal("bruteforce", &err)
 	mt := newMeters(opts.Metrics)
 	repairs, err := SourceRepairs(m, src)
 	if err != nil {
@@ -100,7 +101,7 @@ func BruteForceOpts(m *mapping.Mapping, src *instance.Instance, queries []*logic
 		}
 		solutions[i] = j
 	}
-	results := make([]*Result, len(queries))
+	results = make([]*Result, len(queries))
 	for qi, q := range queries {
 		start := time.Now()
 		var ans *cq.AnswerSet
@@ -126,7 +127,8 @@ func BruteForceOpts(m *mapping.Mapping, src *instance.Instance, queries []*logic
 //
 // Like BruteForce, it serves as an independent oracle for the brave
 // reasoning path of the segmentary pipeline.
-func BruteForcePossible(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ) ([]*Result, error) {
+func BruteForcePossible(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ) (results []*Result, err error) {
+	defer recoverInternal("bruteforce-possible", &err)
 	repairs, err := SourceRepairs(m, src)
 	if err != nil {
 		return nil, err
@@ -139,7 +141,7 @@ func BruteForcePossible(m *mapping.Mapping, src *instance.Instance, queries []*l
 		}
 		solutions[i] = j
 	}
-	results := make([]*Result, len(queries))
+	results = make([]*Result, len(queries))
 	for qi, q := range queries {
 		ans := cq.NewAnswerSet()
 		for _, j := range solutions {

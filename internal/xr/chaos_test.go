@@ -1,0 +1,229 @@
+package xr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultkit"
+	"repro/internal/genome"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// chaosWorld loads a genome profile, its query suite, and a clean
+// (fault-free) reference answer list per query.
+func chaosWorld(t *testing.T, profile string) (*parser.World, []*logic.UCQ, *instance.Instance, [][]string) {
+	t.Helper()
+	world, err := genome.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := genome.Queries(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := genome.ProfileByName(profile, 0.004)
+	if !ok {
+		t.Fatalf("unknown genome profile %s", profile)
+	}
+	src := genome.Generate(world, p)
+	ex, err := NewExchange(world.M, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := make([][]string, len(queries))
+	for i, q := range queries {
+		res, err := ex.AnswerOpts(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean[i] = tupleStrings(res)
+	}
+	return world, queries, src, clean
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosSolveDelayTimeoutSoundness (genome L9): SolveDelay faults
+// combined with a short signature timeout degrade a subset of signatures;
+// every query's partial answers must satisfy the §11 soundness envelope
+// against the clean reference run.
+func TestChaosSolveDelayTimeoutSoundness(t *testing.T) {
+	world, queries, src, clean := chaosWorld(t, "L9")
+	inj := faultkit.New(7003,
+		faultkit.Fault{Kind: faultkit.SolveDelay, Rate: 0.4, Delay: 20 * time.Millisecond})
+	ex, err := NewExchange(world.M, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedTotal := 0
+	for i, q := range queries {
+		res, err := ex.AnswerOpts(q, Options{
+			SignatureTimeout: time.Millisecond,
+			FaultHook:        inj.Hook(),
+			Partial:          true,
+			Parallelism:      4,
+		})
+		if err != nil {
+			t.Fatalf("query %s: %v", q.Name, err)
+		}
+		degradedTotal += len(res.Degraded)
+		for _, d := range res.Degraded {
+			if !errors.Is(d.Err, ErrTimeout) {
+				t.Fatalf("query %s degraded {%s} with %v, want ErrTimeout", q.Name, d.Signature, d.Err)
+			}
+		}
+		assertSoundPartial(t, clean[i], res)
+	}
+	if inj.Fired(faultkit.SolveDelay) == 0 {
+		t.Fatal("vacuous chaos run: no SolveDelay fault fired")
+	}
+	if degradedTotal == 0 {
+		t.Fatal("vacuous chaos run: delays fired but nothing degraded")
+	}
+}
+
+// TestChaosSolvePanicSoundness (genome L20): rate-based injected panics
+// at Parallelism 8 degrade only the panicked signatures, each recorded as
+// ErrInternal with a stack; all other signatures answer normally and the
+// soundness envelope holds. The process must, of course, survive.
+func TestChaosSolvePanicSoundness(t *testing.T) {
+	world, queries, src, clean := chaosWorld(t, "L20")
+	inj := faultkit.New(7004, faultkit.Fault{Kind: faultkit.SolvePanic, Rate: 0.3})
+	ex, err := NewExchange(world.M, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedTotal := 0
+	for i, q := range queries {
+		res, err := ex.AnswerOpts(q, Options{
+			FaultHook:   inj.Hook(),
+			Partial:     true,
+			Parallelism: 8,
+		})
+		if err != nil {
+			t.Fatalf("query %s: %v", q.Name, err)
+		}
+		degradedTotal += len(res.Degraded)
+		for _, d := range res.Degraded {
+			if !errors.Is(d.Err, ErrInternal) {
+				t.Fatalf("query %s degraded {%s} with %v, want ErrInternal", q.Name, d.Signature, d.Err)
+			}
+			var ie *InternalError
+			if !errors.As(d.Err, &ie) || len(ie.Stack) == 0 {
+				t.Fatalf("query %s degraded {%s} without a captured stack", q.Name, d.Signature)
+			}
+		}
+		assertSoundPartial(t, clean[i], res)
+	}
+	if inj.Fired(faultkit.SolvePanic) == 0 {
+		t.Fatal("vacuous chaos run: no SolvePanic fault fired")
+	}
+	if degradedTotal == 0 {
+		t.Fatal("vacuous chaos run: panics fired but nothing degraded")
+	}
+}
+
+// TestChaosDelayOnlyIdentical (genome L9): SolveDelay faults without any
+// signature timeout slow signatures down but change nothing — answers must
+// be byte-identical to the clean run even with Partial off.
+func TestChaosDelayOnlyIdentical(t *testing.T) {
+	world, queries, src, clean := chaosWorld(t, "L9")
+	inj := faultkit.New(11, faultkit.Fault{Kind: faultkit.SolveDelay, Rate: 0.5, Delay: time.Millisecond})
+	ex, err := NewExchange(world.M, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		res, err := ex.AnswerOpts(q, Options{FaultHook: inj.Hook(), Parallelism: 4})
+		if err != nil {
+			t.Fatalf("query %s: %v", q.Name, err)
+		}
+		if len(res.Degraded) != 0 {
+			t.Fatalf("query %s degraded under delay-only faults", q.Name)
+		}
+		if !sameStrings(clean[i], tupleStrings(res)) {
+			t.Fatalf("query %s: answers differ under delay-only faults", q.Name)
+		}
+	}
+	if inj.Fired(faultkit.SolveDelay) == 0 {
+		t.Fatal("vacuous chaos run: no SolveDelay fault fired")
+	}
+}
+
+// TestChaosCacheCorruptIdentical (genome L9): CacheCorrupt faults evict
+// the poisoned signature-program cache entries, forcing rebuilds; answers
+// must be byte-identical to the clean run (only learned clauses are lost).
+// The second pass over the query suite guarantees cache hits to poison.
+func TestChaosCacheCorruptIdentical(t *testing.T) {
+	world, queries, src, clean := chaosWorld(t, "L9")
+	inj := faultkit.New(23, faultkit.Fault{Kind: faultkit.CacheCorrupt, Rate: 0.5})
+	ex, err := NewExchange(world.M, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, q := range queries {
+			res, err := ex.AnswerOpts(q, Options{FaultHook: inj.Hook(), Parallelism: 4})
+			if err != nil {
+				t.Fatalf("pass %d query %s: %v", pass, q.Name, err)
+			}
+			if len(res.Degraded) != 0 {
+				t.Fatalf("pass %d query %s degraded under cache corruption", pass, q.Name)
+			}
+			if !sameStrings(clean[i], tupleStrings(res)) {
+				t.Fatalf("pass %d query %s: answers differ under cache corruption", pass, q.Name)
+			}
+		}
+	}
+	if inj.Fired(faultkit.CacheCorrupt) == 0 {
+		t.Fatal("vacuous chaos run: no CacheCorrupt fault fired")
+	}
+}
+
+// TestChaosGroundErrDegrades (genome L9): injected grounding failures are
+// not retryable-by-budget but still degrade cleanly under Partial, and
+// fail the query in strict mode.
+func TestChaosGroundErrDegrades(t *testing.T) {
+	world, queries, src, clean := chaosWorld(t, "L9")
+	inj := faultkit.New(31, faultkit.Fault{Kind: faultkit.GroundErr, Rate: 0.4})
+	ex, err := NewExchange(world.M, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedTotal := 0
+	for i, q := range queries {
+		res, err := ex.AnswerOpts(q, Options{FaultHook: inj.Hook(), Partial: true, Parallelism: 4})
+		if err != nil {
+			t.Fatalf("query %s: %v", q.Name, err)
+		}
+		degradedTotal += len(res.Degraded)
+		for _, d := range res.Degraded {
+			if !errors.Is(d.Err, faultkit.ErrInjected) {
+				t.Fatalf("query %s degraded {%s} with %v, want the injected error", q.Name, d.Signature, d.Err)
+			}
+			if d.Retries != 0 {
+				t.Fatalf("ground errors are not retryable, got %d retries", d.Retries)
+			}
+		}
+		assertSoundPartial(t, clean[i], res)
+	}
+	if inj.Fired(faultkit.GroundErr) == 0 {
+		t.Fatal("vacuous chaos run: no GroundErr fault fired")
+	}
+	if degradedTotal == 0 {
+		t.Fatal("vacuous chaos run: ground faults fired but nothing degraded")
+	}
+}

@@ -61,6 +61,11 @@ type meters struct {
 	loopsLearned     *telemetry.Counter
 	theoryRejects    *telemetry.Counter
 
+	// Degradation (partial-results mode; DESIGN.md §11).
+	partialQueries   *telemetry.Counter
+	degradedSigs     *telemetry.Counter
+	signatureRetries *telemetry.Counter
+
 	repairsEnumerated *telemetry.Counter
 }
 
@@ -108,6 +113,10 @@ func newMeters(reg *telemetry.Registry) *meters {
 		stabilityFails:   reg.Counter("xr_solver_stability_fails_total"),
 		loopsLearned:     reg.Counter("xr_solver_loops_learned_total"),
 		theoryRejects:    reg.Counter("xr_solver_theory_rejects_total"),
+
+		partialQueries:   reg.Counter("xr_partial_queries_total"),
+		degradedSigs:     reg.Counter("xr_signatures_degraded_total"),
+		signatureRetries: reg.Counter("xr_signature_retries_total"),
 
 		repairsEnumerated: reg.Counter("xr_repairs_enumerated_total"),
 	}
@@ -196,6 +205,27 @@ func (m *meters) recordLearned() {
 		return
 	}
 	m.learnedClauses.Inc()
+}
+
+// recordRetry counts one signature retried with a doubled budget.
+func (m *meters) recordRetry() {
+	if m == nil {
+		return
+	}
+	m.signatureRetries.Inc()
+}
+
+// recordDegradation aggregates one finished query's degradation outcome: a
+// query returning any degraded signature counts as one partial query, and
+// each undecided signature feeds xr_signatures_degraded_total. Like every
+// other counter, the totals are deterministic at any Parallelism when
+// degradation is driven by the deterministic decision/conflict budgets.
+func (m *meters) recordDegradation(degraded int) {
+	if m == nil || degraded == 0 {
+		return
+	}
+	m.partialQueries.Inc()
+	m.degradedSigs.Add(int64(degraded))
 }
 
 // recordSigcacheSize publishes the exchange's current cache population.

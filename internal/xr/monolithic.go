@@ -2,6 +2,7 @@ package xr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -29,6 +30,10 @@ type MonolithicOptions struct {
 	// Metrics, when non-nil, aggregates timings and solver counters into
 	// the given registry (see Options.Metrics).
 	Metrics *telemetry.Registry
+	// FaultHook mirrors Options.FaultHook for chaos testing: it is invoked
+	// once per query at the "solve" site with the query name as key. Must
+	// be nil in production use.
+	FaultHook func(site, key string) error
 }
 
 // Monolithic computes the XR-Certain answers of the queries using the
@@ -61,9 +66,14 @@ func Monolithic(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 			qctx, qcancel = context.WithTimeout(ctx, opts.Timeout)
 			defer qcancel()
 		}
-		res, err := monolithicOne(qctx, red.M, src, rqs[i], o.Trace, mt, queries[i].Name)
-		if err != nil && !isSentinel(err) {
+		res, err := monolithicGuarded(qctx, red.M, src, rqs[i], o.Trace, mt, queries[i].Name, opts.FaultHook)
+		if err != nil && !isSentinel(err) && !errors.Is(err, ErrInternal) {
 			return fmt.Errorf("xr: query %s: %w", queries[i].Name, err)
+		}
+		if res == nil {
+			// A panic converted to ErrInternal left no result; contain the
+			// failure to this query like a per-query timeout.
+			res = &Result{Answers: cq.NewAnswerSet()}
 		}
 		if cerr := ctxErr(ctx); cerr != nil {
 			return cerr // the whole call is canceled, not just this query
@@ -84,6 +94,20 @@ func Monolithic(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 		}
 	}
 	return results, nil
+}
+
+// monolithicGuarded runs one query's pipeline with panic containment: a
+// panic anywhere in the chase/ground/solve path becomes an *InternalError
+// recorded against this query alone, so a corrupted program fails one
+// query, not the whole call (or the process).
+func monolithicGuarded(ctx context.Context, gm *mapping.Mapping, src *instance.Instance, rq *logic.UCQ, trace func(TraceEvent), mt *meters, qname string, hook func(site, key string) error) (res *Result, err error) {
+	defer recoverInternal("monolithic query "+qname, &err)
+	if hook != nil {
+		if herr := hook(faultSiteSolve, qname); herr != nil {
+			return nil, fmt.Errorf("solving query program: %w", herr)
+		}
+	}
+	return monolithicOne(ctx, gm, src, rq, trace, mt, qname)
 }
 
 func monolithicOne(ctx context.Context, gm *mapping.Mapping, src *instance.Instance, rq *logic.UCQ, trace func(TraceEvent), mt *meters, qname string) (*Result, error) {

@@ -3,6 +3,8 @@ package xr
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,7 +26,58 @@ var (
 	// ErrTooLarge reports that an instance exceeds the brute-force engine's
 	// exhaustive-enumeration bound.
 	ErrTooLarge = errors.New("xr: instance too large for brute force")
+	// ErrBudget reports that a signature program exhausted its
+	// Options.MaxDecisions / MaxConflicts solving budget.
+	ErrBudget = errors.New("xr: solve budget exhausted")
+	// ErrInternal reports a panic inside an engine worker, converted to an
+	// error instead of crashing the process; the concrete error is an
+	// *InternalError carrying the recovered value and stack.
+	ErrInternal = errors.New("xr: internal engine error")
 )
+
+// InternalError is a panic captured at an engine entry point or inside a
+// pool worker and converted to an error, so a corrupted program fails one
+// signature (or one call), not the process. It matches ErrInternal under
+// errors.Is.
+type InternalError struct {
+	Op    string // where the panic was caught ("segmentary signature {3}", ...)
+	Panic any    // the recovered value
+	Stack []byte // debug.Stack() captured at the recovery point
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("xr: internal error in %s: %v", e.Op, e.Panic)
+}
+
+// Unwrap makes errors.Is(err, ErrInternal) hold.
+func (e *InternalError) Unwrap() error { return ErrInternal }
+
+// recoverInternal converts an in-flight panic into an *InternalError
+// assigned to *err. Use as `defer recoverInternal(op, &err)` at engine
+// entry points and around pool-worker bodies.
+func recoverInternal(op string, err *error) {
+	if r := recover(); r != nil {
+		*err = &InternalError{Op: op, Panic: r, Stack: debug.Stack()}
+	}
+}
+
+// SignatureError reports one signature group left undecided by a
+// partial-results query (Options.Partial): its canonical key, the number of
+// candidate tuples moved to Result.Unknown, the retries spent, and the
+// final cause (ErrTimeout, ErrBudget, or an *InternalError under errors.Is).
+type SignatureError struct {
+	Signature string // canonical signature key, e.g. "3" or "2,7"
+	Tuples    int    // candidate tuples of the group, now in Unknown
+	Retries   int    // bounded retries attempted before giving up
+	Err       error  // why the signature could not be decided
+}
+
+func (e *SignatureError) Error() string {
+	return fmt.Sprintf("xr: signature {%s} undecided (%d tuples unknown): %v", e.Signature, e.Tuples, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *SignatureError) Unwrap() error { return e.Err }
 
 // Options tunes one query-phase call (Answer, Possible, Repairs,
 // Monolithic). The zero value means: background context, no timeout,
@@ -48,7 +101,45 @@ type Options struct {
 	// Counter totals are deterministic at any Parallelism. A nil registry
 	// costs nothing on the solving paths.
 	Metrics *telemetry.Registry
+
+	// SignatureTimeout bounds each signature program's solving wall time
+	// individually (segmentary engines only); zero means no per-signature
+	// limit. Unlike Timeout, an expired signature does not cancel its
+	// siblings: with Partial set it degrades to unknown, without it the
+	// query fails once the group is reached. A retried signature gets twice
+	// the limit.
+	SignatureTimeout time.Duration
+	// MaxDecisions and MaxConflicts bound each signature program's solver
+	// effort by the DPLL core's deterministic counters (0 = unlimited).
+	// Unlike SignatureTimeout the cutoff point is machine-independent, so
+	// degradation decisions — and with them answers and counter totals —
+	// stay deterministic at any Parallelism. A retried signature gets twice
+	// the budget.
+	MaxDecisions int64
+	MaxConflicts int64
+	// Partial selects sound partial answers (segmentary engines only): a
+	// signature that exhausts its budget is retried once with a doubled
+	// budget and then recorded in Result.Degraded instead of failing the
+	// query, with its candidate tuples moved to Result.Unknown. Answers
+	// then under-approximate the exact certain answers and
+	// Answers ∪ Unknown over-approximates them (see DESIGN.md §11).
+	Partial bool
+	// FaultHook, when non-nil, is invoked at the engines' fault-injection
+	// sites ("solve", "ground", "cache") with the site name and signature
+	// key. A returned error is injected at the site; the hook may also
+	// sleep or panic. It exists for chaos testing (see internal/faultkit)
+	// and must be nil in production use.
+	FaultHook func(site, key string) error
 }
+
+// Fault-injection site names passed to Options.FaultHook. Kept as plain
+// strings (mirrored by internal/faultkit) so the engines do not depend on
+// the testing harness.
+const (
+	faultSiteSolve  = "solve"
+	faultSiteGround = "ground"
+	faultSiteCache  = "cache"
+)
 
 // TraceEvent reports per-program solver diagnostics. For per-call raw
 // events install Options.Trace; for aggregated totals across calls attach
@@ -124,10 +215,10 @@ func ctxErr(ctx context.Context) error {
 	return nil
 }
 
-// isSentinel reports whether err is a cancellation sentinel (as opposed to
-// a genuine engine failure).
+// isSentinel reports whether err is a cancellation/budget sentinel (as
+// opposed to a genuine engine failure).
 func isSentinel(err error) bool {
-	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled)
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudget)
 }
 
 // forEach runs fn(ctx, i) for every i in [0, n) across at most workers

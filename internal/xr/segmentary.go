@@ -2,6 +2,7 @@ package xr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -273,6 +274,9 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 		engine = "segmentary-brave"
 	}
 	res := &Result{Query: q, Answers: cq.NewAnswerSet()}
+	if opts.Partial {
+		res.Unknown = cq.NewAnswerSet()
+	}
 	defer func() {
 		res.Stats.Duration = time.Since(start)
 		mt.recordQuery(engine, res.Stats)
@@ -319,6 +323,16 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 		return nil, fmt.Errorf("xr: query %s: %w", q.Name, ferr)
 	}
 	for _, out := range outcomes {
+		res.Stats.Retries += out.retries
+		if out.degraded != nil {
+			res.Degraded = append(res.Degraded, *out.degraded)
+			for _, t := range out.unknown {
+				res.Unknown.Add(t)
+			}
+			res.Stats.DegradedSignatures++
+			res.Stats.UnknownTuples += len(out.unknown)
+			continue
+		}
 		for _, t := range out.tuples {
 			res.Answers.Add(t)
 		}
@@ -330,6 +344,7 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 			res.Stats.CacheHits++
 		}
 	}
+	mt.recordDegradation(res.Stats.DegradedSignatures)
 	return res, nil
 }
 
@@ -340,15 +355,90 @@ type groupOutcome struct {
 	rules    int
 	atoms    int
 	cacheHit bool
+	retries  int
+
+	// degraded marks a group that could not be decided within its budget
+	// under Options.Partial; its candidate tuples are reported as unknown
+	// instead of being accepted or rejected.
+	degraded *SignatureError
+	unknown  [][]symtab.Value
 }
 
-// solveSig solves one signature group: fetch (or build) the cached base
-// program, specialize a clone with this query's candidates, replay the
-// maximality clauses learned so far, and run cautious or brave reasoning
-// on a fresh solver.
+// solveSig decides one signature group with graceful degradation: run one
+// attempt, and on a per-signature failure (budget exhaustion, signature
+// timeout, panic, injected fault) either retry once with a doubled budget
+// and then degrade the group to unknown (Options.Partial), or fail the
+// query (strict mode). A parent-context cancellation is never degradable —
+// the whole query is ending — and always propagates.
 func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, mt *meters, qname string) (*groupOutcome, error) {
+	out, err := ex.solveSigAttempt(ctx, key, g, brave, opts, mt, qname, 1)
+	if err == nil {
+		return out, nil
+	}
+	if perr := ctxErr(ctx); perr != nil {
+		return nil, perr
+	}
+	retries := 0
+	if opts.Partial && retryableSigErr(err) {
+		retries = 1
+		mt.recordRetry()
+		out, err = ex.solveSigAttempt(ctx, key, g, brave, opts, mt, qname, 2)
+		if err == nil {
+			out.retries = retries
+			return out, nil
+		}
+		if perr := ctxErr(ctx); perr != nil {
+			return nil, perr
+		}
+	}
+	if !opts.Partial {
+		return nil, fmt.Errorf("signature {%s}: %w", key, err)
+	}
+	deg := &groupOutcome{
+		retries:  retries,
+		degraded: &SignatureError{Signature: key, Tuples: len(g.cands), Retries: retries, Err: err},
+	}
+	for _, c := range g.cands {
+		deg.unknown = append(deg.unknown, c.tuple)
+	}
+	return deg, nil
+}
+
+// retryableSigErr reports whether a per-signature failure may succeed with
+// a doubled budget: exhausted decision/conflict budgets and expired
+// signature timeouts qualify, panics and injected faults do not.
+func retryableSigErr(err error) bool {
+	return errors.Is(err, ErrBudget) || errors.Is(err, ErrTimeout)
+}
+
+// solveSigAttempt solves one signature group once: fetch (or build) the
+// cached base program, specialize a clone with this query's candidates,
+// replay the maximality clauses learned so far, and run cautious or brave
+// reasoning on a fresh solver under the per-signature budget scaled by
+// scale. Panics are converted to *InternalError (the worker pool must
+// never crash the process).
+func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, mt *meters, qname string, scale int64) (out *groupOutcome, err error) {
+	defer recoverInternal("segmentary signature {"+key+"}", &err)
 	start := time.Now()
+	if opts.SignatureTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.SignatureTimeout*time.Duration(scale))
+		defer cancel()
+	}
 	sp, hit := ex.sigProgramFor(key)
+	if hit && opts.FaultHook != nil {
+		if herr := opts.FaultHook(faultSiteCache, key); herr != nil {
+			// The cached entry is reported corrupt: drop it and rebuild from
+			// the (immutable) exchange, losing only learned clauses.
+			ex.discardSigProgram(key, sp)
+			sp, hit = ex.sigProgramFor(key)
+		}
+	}
+	if opts.FaultHook != nil {
+		if herr := opts.FaultHook(faultSiteGround, key); herr != nil {
+			return nil, fmt.Errorf("grounding signature program: %w", herr)
+		}
+	}
 	sp.ensure(ex, g.sig)
 
 	spec := sp.enc.specialize()
@@ -365,6 +455,9 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 
 	solver := asp.NewStableSolver(spec.gp)
 	solver.SetContext(ctx)
+	if opts.MaxDecisions > 0 || opts.MaxConflicts > 0 {
+		solver.SetBudget(opts.MaxDecisions*scale, opts.MaxConflicts*scale)
+	}
 	sp.replayInto(solver)
 	solver.Acceptor = spec.acceptorWithIndex(sp.idx, solver, func(clause []asp.AtomID) {
 		if sp.addLearned(clause) {
@@ -372,6 +465,11 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 		}
 	})
 
+	if opts.FaultHook != nil {
+		if herr := opts.FaultHook(faultSiteSolve, key); herr != nil {
+			return nil, fmt.Errorf("solving signature program: %w", herr)
+		}
+	}
 	var kept []asp.AtomID
 	var hasModel bool
 	if brave {
@@ -379,11 +477,17 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 	} else {
 		kept, hasModel = solver.Cautious(atoms)
 	}
+	// A cut-short session must be discarded: cautious narrowing
+	// over-approximates and brave marking under-approximates when the
+	// solver stops early.
 	if solver.Canceled() {
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
 		return nil, ErrCanceled
+	}
+	if solver.Exhausted() {
+		return nil, ErrBudget
 	}
 	if !hasModel {
 		return nil, fmt.Errorf("internal error: signature program has no stable model")
@@ -393,7 +497,7 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 	for _, a := range kept {
 		keptSet[a] = true
 	}
-	out := &groupOutcome{
+	out = &groupOutcome{
 		rules:    len(spec.gp.Rules),
 		atoms:    spec.gp.NumAtoms(),
 		cacheHit: hit,
@@ -490,7 +594,10 @@ func (ex *Exchange) Repairs(limit int) ([]*instance.Instance, error) {
 
 // RepairsOpts is Repairs with per-call Options (context, timeout, tracing;
 // enumeration is a single solver run, so Parallelism has no effect).
-func (ex *Exchange) RepairsOpts(limit int, opts Options) ([]*instance.Instance, error) {
+// A panic inside the enumeration is converted to an error matching
+// ErrInternal instead of crashing the process.
+func (ex *Exchange) RepairsOpts(limit int, opts Options) (repairs []*instance.Instance, err error) {
+	defer recoverInternal("repairs", &err)
 	start := time.Now()
 	opts = opts.serialized()
 	mt := ex.metersFor(&opts)

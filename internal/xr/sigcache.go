@@ -55,6 +55,20 @@ func (ex *Exchange) sigProgramFor(key string) (*sigProgram, bool) {
 	return sp, false
 }
 
+// discardSigProgram evicts a cache entry, but only while sp is still the
+// current one (a concurrent eviction may already have replaced it). The
+// next sigProgramFor rebuilds the base grounding from the immutable
+// exchange, so eviction loses only learned maximality clauses — never
+// soundness. Used by the cache-corruption recovery path; queries holding
+// the old entry keep using their reference safely.
+func (ex *Exchange) discardSigProgram(key string, sp *sigProgram) {
+	ex.progMu.Lock()
+	if ex.progCache[key] == sp {
+		delete(ex.progCache, key)
+	}
+	ex.progMu.Unlock()
+}
+
 // ensure builds the base signature program exactly once per entry: the
 // restriction of the Theorem 2 grounding to the signature's focus, with
 // safe facts pinned true (Theorem 4).

@@ -32,7 +32,18 @@ import (
 type Result struct {
 	Query   *logic.UCQ
 	Answers *cq.AnswerSet
-	Stats   QueryStats
+	// Unknown holds the candidate tuples of degraded signature groups when
+	// the query ran with Options.Partial (segmentary engines only; nil
+	// otherwise, and empty on an undegraded partial query). Answers and
+	// Unknown are disjoint; Answers under-approximates the exact certain
+	// answers and Answers ∪ Unknown over-approximates them, so both bounds
+	// are sound (DESIGN.md §11).
+	Unknown *cq.AnswerSet
+	// Degraded reports each undecided signature group of a Partial query,
+	// in canonical signature-key order (deterministic at any Parallelism
+	// when degradation is driven by MaxDecisions/MaxConflicts).
+	Degraded []SignatureError
+	Stats    QueryStats
 	// Err is ErrTimeout when the query exceeded its solving budget; the
 	// Answers are then a lower bound (possibly empty).
 	Err error
@@ -47,7 +58,12 @@ type QueryStats struct {
 	GroundRules    int // total ground rules across programs
 	GroundAtoms    int // total ground atoms across programs
 	CacheHits      int // programs served from the signature-program cache
-	Duration       time.Duration
+
+	DegradedSignatures int // signature groups left undecided (Partial mode)
+	UnknownTuples      int // candidate tuples moved to Unknown
+	Retries            int // signature retries with a doubled budget
+
+	Duration time.Duration
 }
 
 // candidate is one candidate answer tuple with its support sets (ground

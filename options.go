@@ -23,7 +23,25 @@ var (
 	// ErrTooLarge reports that an instance exceeds the brute-force engines'
 	// exhaustive-enumeration bound (22 source facts).
 	ErrTooLarge = xr.ErrTooLarge
+	// ErrBudget reports that a signature's solver exhausted its
+	// WithSolveBudget decision/conflict allowance.
+	ErrBudget = xr.ErrBudget
+	// ErrInternal reports a panic contained inside an engine worker; the
+	// concrete error is an *xr.InternalError carrying the captured stack.
+	ErrInternal = xr.ErrInternal
 )
+
+// SignatureError describes one signature group left undecided under
+// WithPartialResults: the signature key, how many candidate tuples moved
+// to Unknown, how many budget-doubling retries were attempted, and the
+// underlying cause (matches ErrBudget, ErrTimeout, or ErrInternal under
+// errors.Is).
+type SignatureError = xr.SignatureError
+
+// InternalError is a contained worker panic: the operation, the recovered
+// panic value, and the goroutine stack at the point of the panic. It
+// matches ErrInternal under errors.Is.
+type InternalError = xr.InternalError
 
 // TraceEvent is one per-program solver diagnostic record delivered to a
 // WithSolverTrace hook; see the fields for the available counters.
@@ -57,6 +75,45 @@ func WithParallelism(n int) Option {
 		}
 		o.Parallelism = n
 	}
+}
+
+// WithSignatureTimeout bounds the solving time of each signature program
+// individually (segmentary engine only). Unlike WithTimeout, which cancels
+// the whole call, an expired signature timeout cuts off only that
+// signature: without WithPartialResults the query fails with an error
+// matching ErrTimeout; with it, the signature is recorded in
+// Answers.Degraded and its candidate tuples move to Answers.Unknown while
+// every sibling signature completes normally. Zero means no limit.
+func WithSignatureTimeout(d time.Duration) Option {
+	return func(o *xr.Options) { o.SignatureTimeout = d }
+}
+
+// WithSolveBudget caps the solver effort spent on each signature program:
+// at most maxDecisions decisions and maxConflicts conflicts (zero means
+// unlimited for that counter). Budgets are deterministic — unlike wall
+// clocks they exhaust at the same point on every run and at any
+// WithParallelism setting. An exhausted signature fails the query with an
+// error matching ErrBudget, or degrades it under WithPartialResults (after
+// one retry with the budget doubled, reusing the learned clauses cached
+// from the first attempt).
+func WithSolveBudget(maxDecisions, maxConflicts int64) Option {
+	return func(o *xr.Options) {
+		o.MaxDecisions = maxDecisions
+		o.MaxConflicts = maxConflicts
+	}
+}
+
+// WithPartialResults makes the segmentary engine return sound partial
+// answers instead of failing when a signature exceeds WithSignatureTimeout
+// or WithSolveBudget (or panics): the Answers it returns are a sound lower
+// bound on the XR-Certain answers (every reported tuple is a certain
+// answer), undecided tuples are listed in Answers.Unknown, and each
+// skipped signature is described in Answers.Degraded. Skipping a signature
+// can only lose answers, never fabricate them — see DESIGN.md §11 for the
+// soundness argument. Cancellation of the whole call (WithContext /
+// WithTimeout) still fails the query regardless of this option.
+func WithPartialResults(on bool) Option {
+	return func(o *xr.Options) { o.Partial = on }
 }
 
 // WithSolverTrace installs a hook receiving one TraceEvent per program

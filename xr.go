@@ -32,6 +32,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/symtab"
 	"repro/internal/xr"
 )
 
@@ -115,6 +116,15 @@ func (s *System) HasSolution(i *Instance) bool {
 // Answers is a set of answer tuples, rendered as strings.
 type Answers struct {
 	Tuples [][]string
+	// Unknown lists the tuples left undecided when signatures were skipped
+	// under WithPartialResults: each may or may not be an XR-Certain
+	// answer. The true answer set lies between Tuples and Tuples ∪ Unknown.
+	// Empty unless the query degraded.
+	Unknown [][]string
+	// Degraded describes each signature group that was skipped (budget or
+	// timeout exhausted after retry, or a contained panic), in canonical
+	// signature-key order. Empty on a complete run.
+	Degraded []SignatureError
 	// Stats carries per-query measurements (candidates, programs solved,
 	// duration); see the xr package for field meanings.
 	Candidates     int
@@ -124,24 +134,46 @@ type Answers struct {
 	// CacheHits counts the programs served from the exchange's
 	// signature-program cache (always 0 for the monolithic engine).
 	CacheHits int
-	Duration  time.Duration
+	// DegradedSignatures, UnknownTuples, and Retries summarize graceful
+	// degradation: signatures skipped, candidate tuples left undecided,
+	// and budget-doubling retry attempts.
+	DegradedSignatures int
+	UnknownTuples      int
+	Retries            int
+	Duration           time.Duration
 }
+
+// Partial reports whether the answers are a (sound) lower bound rather
+// than the exact XR-Certain set.
+func (a *Answers) Partial() bool { return len(a.Degraded) > 0 }
 
 func (s *System) answersOf(res *xr.Result) *Answers {
 	a := &Answers{
-		Candidates:     res.Stats.Candidates,
-		SafeAccepted:   res.Stats.SafeAccepted,
-		SolverAccepted: res.Stats.SolverAccepted,
-		Programs:       res.Stats.Programs,
-		CacheHits:      res.Stats.CacheHits,
-		Duration:       res.Stats.Duration,
+		Degraded:           res.Degraded,
+		Candidates:         res.Stats.Candidates,
+		SafeAccepted:       res.Stats.SafeAccepted,
+		SolverAccepted:     res.Stats.SolverAccepted,
+		Programs:           res.Stats.Programs,
+		CacheHits:          res.Stats.CacheHits,
+		DegradedSignatures: res.Stats.DegradedSignatures,
+		UnknownTuples:      res.Stats.UnknownTuples,
+		Retries:            res.Stats.Retries,
+		Duration:           res.Stats.Duration,
 	}
-	for _, t := range res.Answers.Tuples() {
+	render := func(t []symtab.Value) []string {
 		row := make([]string, len(t))
 		for i, v := range t {
 			row[i] = s.w.U.Name(v)
 		}
-		a.Tuples = append(a.Tuples, row)
+		return row
+	}
+	for _, t := range res.Answers.Tuples() {
+		a.Tuples = append(a.Tuples, render(t))
+	}
+	if res.Unknown != nil {
+		for _, t := range res.Unknown.Tuples() {
+			a.Unknown = append(a.Unknown, render(t))
+		}
 	}
 	return a
 }
