@@ -150,6 +150,47 @@ func BenchmarkSpeedupHeadline(b *testing.B) {
 // Substrate micro-benchmarks.
 // ---------------------------------------------------------------------
 
+// BenchmarkChase measures both chase drivers across the S/M/L genome size
+// axis: the provenance-recording GAV chase of the reduced mapping under the
+// default semi-naive strategy and under the retained naive fixpoint (their
+// ratio is the semi-naive speedup), and the native GLAV chase. Scale with
+// BENCH_SCALE=0.1 for the numbers quoted in the README.
+func BenchmarkChase(b *testing.B) {
+	w, err := genome.NewWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	red, err := gavreduce.Reduce(w.M)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"S3", "M3", "L3"} {
+		p, _ := genome.ProfileByName(name, benchScale())
+		src := genome.Generate(w, p)
+		b.Run("provenance/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.GAV(red.M, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("provenance-naive/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.GAVWithOptions(red.M, src, chase.Options{Strategy: chase.StrategyNaive}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("native/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Native(w.M, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGAVChaseProvenance measures the provenance-recording GAV chase
 // of the reduced genome mapping on an M3-sized instance.
 func BenchmarkGAVChaseProvenance(b *testing.B) {

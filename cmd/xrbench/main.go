@@ -134,6 +134,9 @@ func writeReport(r *benchkit.Runner, profile, path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	b := rep.Exchange.Breakdown
 	fmt.Fprintf(os.Stderr, "xrbench: wrote %s (profile %s, %d queries)\n", path, profile, len(rep.Queries))
+	fmt.Fprintf(os.Stderr, "xrbench: exchange %.3fs (chase %.3fs: %d rounds, %d/%d rule evals/skips, %d triggers, %d new facts, %d probes, %d index builds)\n",
+		rep.Exchange.Seconds, rep.Exchange.ChaseSeconds, b.ChaseRounds, b.ChaseRuleEvals, b.ChaseRuleSkips, b.ChaseTriggers, b.ChaseDeltaFacts, b.IndexProbes, b.IndexBuilds)
 	return nil
 }

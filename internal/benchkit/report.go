@@ -23,6 +23,24 @@ type ExchangeReport struct {
 	ChaseSeconds     float64 `json:"chase_seconds"`
 	EnvelopesSeconds float64 `json:"envelopes_seconds"`
 	Seconds          float64 `json:"seconds"`
+
+	Breakdown ExchangeBreakdown `json:"exchange_breakdown"`
+}
+
+// ExchangeBreakdown decomposes the chase column: semi-naive fixpoint
+// rounds, rule evaluations performed vs skipped by the rule→relation
+// dependency index, ground derivations fired, new facts added, instance
+// index activity, and the tgd/violation split of the chase wall time.
+type ExchangeBreakdown struct {
+	ChaseRounds           int     `json:"chase_rounds"`
+	ChaseRuleEvals        int     `json:"chase_rule_evals"`
+	ChaseRuleSkips        int     `json:"chase_rule_skips"`
+	ChaseTriggers         int     `json:"chase_triggers"`
+	ChaseDeltaFacts       int     `json:"chase_delta_facts"`
+	IndexProbes           uint64  `json:"index_probes"`
+	IndexBuilds           uint64  `json:"index_builds"`
+	ChaseTgdSeconds       float64 `json:"chase_tgd_seconds"`
+	ChaseViolationSeconds float64 `json:"chase_violation_seconds"`
 }
 
 // QueryReport is one segmentary query's wall time and stats.
@@ -99,6 +117,17 @@ func (r *Runner) Report(profile string) (*BenchReport, error) {
 			ChaseSeconds:     st.ChaseDuration.Seconds(),
 			EnvelopesSeconds: st.EnvDuration.Seconds(),
 			Seconds:          st.Duration.Seconds(),
+			Breakdown: ExchangeBreakdown{
+				ChaseRounds:           st.ChaseRounds,
+				ChaseRuleEvals:        st.ChaseRuleEvals,
+				ChaseRuleSkips:        st.ChaseRuleSkips,
+				ChaseTriggers:         st.ChaseTriggers,
+				ChaseDeltaFacts:       st.ChaseDeltaFacts,
+				IndexProbes:           st.IndexProbes,
+				IndexBuilds:           st.IndexBuilds,
+				ChaseTgdSeconds:       st.ChaseTgdDuration.Seconds(),
+				ChaseViolationSeconds: st.ChaseViolationDuration.Seconds(),
+			},
 		},
 	}
 	for _, q := range qs {

@@ -9,16 +9,30 @@
 //     that records every ground derivation (the paper's support sets,
 //     Definition 4) and every egd violation; this powers repair envelopes
 //     and the segmentary pipeline.
+//
+// Both flavours are driven semi-naively (Abiteboul/Hull/Vianu): rules
+// compile once per chase, a rule is re-evaluated only when a relation in
+// its body gained tuples since the rule's generation watermark, and each
+// evaluation enumerates only the matches that use at least one such delta
+// tuple. Collected matches are applied in ascending generation-rank order,
+// which reproduces the enumeration order of the naive fixpoint exactly, so
+// the semi-naive chase is byte-identical to the naive one (same null
+// naming, same fact interning order, same support sets and violations).
+// The naive strategy is retained behind Options.Strategy as the reference
+// for equivalence tests.
 package chase
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/cq"
 	"repro/internal/instance"
 	"repro/internal/logic"
 	"repro/internal/mapping"
+	"repro/internal/schema"
 	"repro/internal/symtab"
 )
 
@@ -34,6 +48,40 @@ var ErrNoSolution = errors.New("chase: egd failure, no solution exists")
 // would need the constant raised.
 const maxRounds = 2_000
 
+// Strategy selects the fixpoint evaluation scheme.
+type Strategy int
+
+const (
+	// StrategySemiNaive (the default) re-evaluates a rule only when a body
+	// relation changed, restricted to delta-touching bindings.
+	StrategySemiNaive Strategy = iota
+	// StrategyNaive re-enumerates every rule against the full instance each
+	// round. Retained as the reference implementation for equivalence tests;
+	// both strategies produce byte-identical output.
+	StrategyNaive
+)
+
+// Stats reports what one chase run did. All counters are deterministic for
+// a given (mapping, source, strategy).
+type Stats struct {
+	Rounds     int // fixpoint rounds executed
+	RuleEvals  int // rule evaluations actually performed
+	RuleSkips  int // evaluations skipped by the rule→relation dependency index
+	Triggers   int // tgd matches applied (fired or support-recorded)
+	DeltaFacts int // facts added by the chase (beyond the source)
+
+	TgdDuration       time.Duration // time enumerating and applying tgds
+	EgdDuration       time.Duration // Native: time evaluating egds and rewriting
+	ViolationDuration time.Duration // GAV: time in the final violation scan
+}
+
+// Options configures a chase run.
+type Options struct {
+	Strategy Strategy
+	// Stats, when non-nil, is filled in with run counters and timings.
+	Stats *Stats
+}
+
 // Native runs the standard chase of src with m and returns the combined
 // instance I ∪ J where J is the canonical universal solution. It returns
 // ErrNoSolution if an egd fails. The mapping's target tgds should be weakly
@@ -42,29 +90,59 @@ const maxRounds = 2_000
 // The result contains the (possibly value-rewritten) source facts alongside
 // target facts; restrict to m.Target for J alone.
 func Native(m *mapping.Mapping, src *instance.Instance) (*instance.Instance, error) {
+	return NativeWithOptions(m, src, Options{})
+}
+
+// NativeWithOptions is Native with an explicit strategy and stats sink.
+func NativeWithOptions(m *mapping.Mapping, src *instance.Instance, opt Options) (*instance.Instance, error) {
+	st := opt.Stats
+	if st == nil {
+		st = &Stats{}
+	}
+	naive := opt.Strategy == StrategyNaive
 	work := src.Clone()
+
 	tgds := m.AllTgds()
+	tgdExecs := make([]*tgdExec, len(tgds))
+	for i, d := range tgds {
+		tgdExecs[i] = compileTGD(d)
+	}
+	egdExecs := make([]*egdExec, len(m.TEgds))
+	for i, d := range m.TEgds {
+		egdExecs[i] = compileEGD(d)
+	}
 
 	for round := 0; ; round++ {
 		if round > maxRounds {
 			return nil, fmt.Errorf("chase: did not terminate after %d rounds (mapping not weakly acyclic?)", maxRounds)
 		}
+		st.Rounds++
 		changed := false
+		evaluated := false
 		// Tgd phase: fire every unsatisfied trigger.
-		for _, d := range tgds {
-			if applyTGD(d, work, m.U) {
-				changed = true
-			}
+		t0 := time.Now()
+		for _, te := range tgdExecs {
+			ev, added := te.apply(work, m.U, naive, st)
+			evaluated = evaluated || ev
+			changed = changed || added
 		}
+		st.TgdDuration += time.Since(t0)
 		// Egd phase: collect all equalities demanded by egds, merge.
-		merged, err := applyEGDs(m.TEgds, work)
+		t0 = time.Now()
+		evEgd, merged, err := applyEGDs(egdExecs, work, naive, st)
+		st.EgdDuration += time.Since(t0)
 		if err != nil {
 			return nil, err
 		}
-		if merged {
-			changed = true
-		}
-		if !changed {
+		evaluated = evaluated || evEgd
+		changed = changed || merged
+		if naive {
+			if !changed {
+				return work, nil
+			}
+		} else if !evaluated {
+			// Every rule was up to date with the instance generation:
+			// fixpoint (changed rules re-check one cheap round later).
 			return work, nil
 		}
 	}
@@ -77,117 +155,297 @@ func HasSolution(m *mapping.Mapping, src *instance.Instance) bool {
 	return err == nil
 }
 
-// applyTGD fires every trigger of d whose head is not already satisfied,
-// adding fresh nulls for existential variables. Reports whether any fact
-// was added.
-func applyTGD(d *logic.TGD, work *instance.Instance, u *symtab.Universe) bool {
-	plan := cq.Compile(d.Body, work)
-	type trigger struct{ env []symtab.Value }
-	var triggers []trigger
-	plan.ForEach(work, func(env []symtab.Value) bool {
-		triggers = append(triggers, trigger{env: append([]symtab.Value(nil), env...)})
-		return true
-	})
-	added := false
-	for _, tr := range triggers {
-		sub := make(map[string]symtab.Value, len(plan.VarSlot))
-		for v, slot := range plan.VarSlot {
-			sub[v] = tr.env[slot]
+// headExec is one precompiled head atom: a constant template plus, per
+// position, the body-variable environment slot or the existential index.
+type headExec struct {
+	rel    schema.RelID
+	consts []symtab.Value // constant per position, None where a variable
+	slot   []int          // body env slot per position, -1 otherwise
+	extIdx []int          // existential index per position, -1 otherwise
+}
+
+// tgdExec is one compiled tgd: a reusable body plan, the head templates,
+// the body relation set for the dependency index, the semi-naive watermark,
+// and per-instance scratch buffers (an exec is used by one chase at a time).
+type tgdExec struct {
+	d         *logic.TGD
+	plan      *cq.Plan
+	bodyRels  []schema.RelID
+	watermark uint64
+	started   bool // evaluated at least once (watermark is meaningful)
+
+	heads    []headExec
+	numExt   int
+	ext      []symtab.Value   // existential bindings, None = unbound
+	patterns [][]symtab.Value // per head atom, for headSatisfied
+	free     [][]int          // per head atom, unbound existential positions
+	boundExt [][]int          // per head atom, ext indices bound at this depth
+}
+
+func compileTGD(d *logic.TGD) *tgdExec {
+	te := &tgdExec{d: d, plan: cq.Compile(d.Body)}
+	te.bodyRels = te.plan.Relations()
+	exts := d.ExistentialVars() // sorted: fresh-null assignment order
+	te.numExt = len(exts)
+	te.ext = make([]symtab.Value, len(exts))
+	extIdx := make(map[string]int, len(exts))
+	for i, v := range exts {
+		extIdx[v] = i
+	}
+	for _, a := range d.Head {
+		h := headExec{
+			rel:    a.Rel,
+			consts: make([]symtab.Value, len(a.Terms)),
+			slot:   make([]int, len(a.Terms)),
+			extIdx: make([]int, len(a.Terms)),
 		}
-		if headSatisfied(d.Head, sub, work) {
-			continue
-		}
-		// Fire: fresh nulls for existential variables.
-		for _, y := range d.ExistentialVars() {
-			sub[y] = u.FreshNull()
-		}
-		for _, a := range d.Head {
-			args := make([]symtab.Value, len(a.Terms))
-			for i, t := range a.Terms {
-				if t.IsVar() {
-					args[i] = sub[t.Var]
+		for j, t := range a.Terms {
+			h.slot[j], h.extIdx[j] = -1, -1
+			switch {
+			case !t.IsVar():
+				h.consts[j] = t.Val
+			default:
+				if s, ok := te.plan.VarSlot[t.Var]; ok {
+					h.slot[j] = s
 				} else {
-					args[i] = t.Val
+					h.extIdx[j] = extIdx[t.Var]
 				}
-			}
-			if work.Add(a.Rel, args) {
-				added = true
+				h.consts[j] = symtab.None
 			}
 		}
+		te.heads = append(te.heads, h)
+		te.patterns = append(te.patterns, make([]symtab.Value, len(a.Terms)))
+		te.free = append(te.free, nil)
+		te.boundExt = append(te.boundExt, nil)
 	}
-	return added
+	return te
 }
 
-// headSatisfied reports whether sub extends to a substitution of the head's
-// existential variables making every head atom a fact of work (the
-// restricted-chase applicability test).
-func headSatisfied(head []logic.Atom, sub map[string]symtab.Value, work *instance.Instance) bool {
-	ext := make(map[string]symtab.Value)
-	return matchHead(head, 0, sub, ext, work)
-}
-
-func matchHead(head []logic.Atom, i int, sub, ext map[string]symtab.Value, work *instance.Instance) bool {
-	if i == len(head) {
+// hasDelta reports whether any body relation gained tuples since the
+// watermark (always true for a never-evaluated rule).
+func (te *tgdExec) hasDelta(work *instance.Instance) bool {
+	if !te.started {
 		return true
 	}
-	a := head[i]
-	pattern := make([]symtab.Value, len(a.Terms))
-	var free []int
-	for j, t := range a.Terms {
-		switch {
-		case !t.IsVar():
-			pattern[j] = t.Val
-		default:
-			if v, ok := sub[t.Var]; ok {
-				pattern[j] = v
-			} else if v, ok := ext[t.Var]; ok {
-				pattern[j] = v
-			} else {
-				pattern[j] = symtab.None
-				free = append(free, j)
-			}
-		}
-	}
-	if len(free) == 0 {
-		return work.Contains(a.Rel, pattern) && matchHead(head, i+1, sub, ext, work)
-	}
-	for _, tup := range work.Match(a.Rel, pattern) {
-		var bound []string
-		ok := true
-		for _, j := range free {
-			v := a.Terms[j].Var
-			if prev, exists := ext[v]; exists {
-				if prev != tup[j] {
-					ok = false
-					break
-				}
-				continue
-			}
-			ext[v] = tup[j]
-			bound = append(bound, v)
-		}
-		if ok && matchHead(head, i+1, sub, ext, work) {
+	for _, r := range te.bodyRels {
+		if work.RelGen(r) > te.watermark {
 			return true
-		}
-		for _, v := range bound {
-			delete(ext, v)
 		}
 	}
 	return false
 }
 
-// applyEGDs finds every violated ground egd, merges the demanded values via
-// union-find, and rewrites the instance. It returns whether anything merged,
-// or ErrNoSolution on a constant/constant conflict.
-func applyEGDs(egds []*logic.EGD, work *instance.Instance) (bool, error) {
+// trigger is one collected body match: the environment and its generation
+// rank (gens of the matched body tuples, indexed by body atom). Applying
+// triggers in ascending join-order rank reproduces naive enumeration order.
+type trigger struct {
+	env  []symtab.Value
+	rank []uint64
+}
+
+func sortTriggers(trig []trigger, order []int) {
+	sort.Slice(trig, func(i, j int) bool {
+		return rankLess(trig[i].rank, trig[j].rank, order)
+	})
+}
+
+// rankLess compares generation ranks lexicographically along the join
+// order. Ranks are unique per match (tuple generations are globally
+// unique), so the order is total and the sort deterministic.
+func rankLess(a, b []uint64, order []int) bool {
+	for _, pos := range order {
+		if a[pos] != b[pos] {
+			return a[pos] < b[pos]
+		}
+	}
+	return false
+}
+
+// apply evaluates the tgd (semi-naively unless naive) and fires every
+// collected trigger whose head is not already satisfied, adding fresh nulls
+// for existential variables. It reports whether the rule was evaluated at
+// all and whether any fact was added.
+func (te *tgdExec) apply(work *instance.Instance, u *symtab.Universe, naive bool, st *Stats) (evaluated, added bool) {
+	old := te.watermark
+	if naive {
+		old = 0
+	} else if !te.hasDelta(work) {
+		st.RuleSkips++
+		return false, false
+	}
+	cur := work.Gen()
+	st.RuleEvals++
+	te.started = true
+	var trig []trigger
+	var evalOrder []int
+	te.plan.ForEachDelta(work, old, func(env []symtab.Value, rank []uint64, order []int) bool {
+		evalOrder = order
+		trig = append(trig, trigger{
+			env:  append([]symtab.Value(nil), env...),
+			rank: append([]uint64(nil), rank...),
+		})
+		return true
+	})
+	te.watermark = cur
+	sortTriggers(trig, evalOrder)
+	for _, tr := range trig {
+		if te.headSatisfied(work, tr.env) {
+			continue
+		}
+		st.Triggers++
+		// Fire: fresh nulls for existential variables, in sorted
+		// existential-variable order (te.ext is indexed in that order).
+		for i := range te.ext {
+			te.ext[i] = u.FreshNull()
+		}
+		for hi := range te.heads {
+			h := &te.heads[hi]
+			args := make([]symtab.Value, len(h.consts))
+			for j := range args {
+				switch {
+				case h.slot[j] >= 0:
+					args[j] = tr.env[h.slot[j]]
+				case h.extIdx[j] >= 0:
+					args[j] = te.ext[h.extIdx[j]]
+				default:
+					args[j] = h.consts[j]
+				}
+			}
+			if work.Add(h.rel, args) {
+				added = true
+				st.DeltaFacts++
+			}
+		}
+	}
+	return true, added
+}
+
+// headSatisfied reports whether env extends to a substitution of the head's
+// existential variables making every head atom a fact of work (the
+// restricted-chase applicability test).
+func (te *tgdExec) headSatisfied(work *instance.Instance, env []symtab.Value) bool {
+	for i := range te.ext {
+		te.ext[i] = symtab.None
+	}
+	return te.matchHead(work, 0, env)
+}
+
+func (te *tgdExec) matchHead(work *instance.Instance, i int, env []symtab.Value) bool {
+	if i == len(te.heads) {
+		return true
+	}
+	h := &te.heads[i]
+	pattern := te.patterns[i]
+	free := te.free[i][:0]
+	for j := range pattern {
+		switch {
+		case h.slot[j] >= 0:
+			pattern[j] = env[h.slot[j]]
+		case h.extIdx[j] >= 0:
+			if v := te.ext[h.extIdx[j]]; v != symtab.None {
+				pattern[j] = v
+			} else {
+				pattern[j] = symtab.None
+				free = append(free, j)
+			}
+		default:
+			pattern[j] = h.consts[j]
+		}
+	}
+	te.free[i] = free
+	if len(free) == 0 {
+		return work.Contains(h.rel, pattern) && te.matchHead(work, i+1, env)
+	}
+	found := false
+	work.ForEachMatch(h.rel, pattern, 0, ^uint64(0), func(tup []symtab.Value, _ uint64) bool {
+		bound := te.boundExt[i][:0]
+		ok := true
+		for _, j := range free {
+			e := h.extIdx[j]
+			if v := te.ext[e]; v != symtab.None {
+				if v != tup[j] {
+					ok = false
+					break
+				}
+				continue
+			}
+			te.ext[e] = tup[j]
+			bound = append(bound, e)
+		}
+		te.boundExt[i] = bound
+		if ok && te.matchHead(work, i+1, env) {
+			found = true
+			return false
+		}
+		for _, e := range bound {
+			te.ext[e] = symtab.None
+		}
+		return true
+	})
+	return found
+}
+
+// egdExec is one compiled egd: a reusable body plan plus the semi-naive
+// watermark.
+type egdExec struct {
+	d         *logic.EGD
+	plan      *cq.Plan
+	bodyRels  []schema.RelID
+	watermark uint64
+	started   bool // evaluated at least once (watermark is meaningful)
+}
+
+func compileEGD(d *logic.EGD) *egdExec {
+	ee := &egdExec{d: d, plan: cq.Compile(d.Body)}
+	ee.bodyRels = ee.plan.Relations()
+	return ee
+}
+
+func (ee *egdExec) hasDelta(work *instance.Instance) bool {
+	if !ee.started {
+		return true
+	}
+	for _, r := range ee.bodyRels {
+		if work.RelGen(r) > ee.watermark {
+			return true
+		}
+	}
+	return false
+}
+
+// applyEGDs finds every newly violated ground egd, merges the demanded
+// values via union-find, and rewrites the instance in place (touching only
+// tuples containing a remapped value). It reports whether any egd was
+// evaluated, whether anything merged, or ErrNoSolution on a
+// constant/constant conflict.
+//
+// Restricting to delta bindings is sound: a violating pair among pre-
+// watermark tuples was enumerated when those tuples were last new, merged,
+// and rewritten — after which its two sides are equal, and value rewriting
+// can never make equal sides unequal again.
+func applyEGDs(egds []*egdExec, work *instance.Instance, naive bool, st *Stats) (evaluated, merged bool, err error) {
 	uf := newUnionFind()
 	demand := false
-	for _, d := range egds {
-		plan := cq.Compile(d.Body, work)
+	// All egds are evaluated against the same frozen instance; the rewrite
+	// happens once at the end, so every watermark advances to the same
+	// generation.
+	cur := work.Gen()
+	for _, ee := range egds {
+		old := ee.watermark
+		if naive {
+			old = 0
+		} else if !ee.hasDelta(work) {
+			st.RuleSkips++
+			continue
+		}
+		st.RuleEvals++
+		ee.started = true
+		evaluated = true
 		var fail error
-		plan.ForEach(work, func(env []symtab.Value) bool {
-			l := egdSide(d.L, plan, env)
-			r := egdSide(d.R, plan, env)
+		lTerm, rTerm := ee.d.L, ee.d.R
+		ee.plan.ForEachDelta(work, old, func(env []symtab.Value, _ []uint64, _ []int) bool {
+			l := egdSide(lTerm, ee.plan, env)
+			r := egdSide(rTerm, ee.plan, env)
 			if l == r {
 				return true
 			}
@@ -198,25 +456,24 @@ func applyEGDs(egds []*logic.EGD, work *instance.Instance) (bool, error) {
 			}
 			return true
 		})
+		ee.watermark = cur
 		if fail != nil {
-			return false, fail
+			return evaluated, false, fail
 		}
 	}
 	if !demand {
-		return false, nil
+		return evaluated, false, nil
 	}
-	// Rewrite the instance through the union-find representatives.
+	// Rewrite the instance through the union-find representatives, in
+	// place: only tuples containing a remapped value are removed and
+	// re-inserted (with fresh generations, making them the next round's
+	// delta).
 	rewrite := uf.mapping()
 	if len(rewrite) == 0 {
-		return false, nil
+		return evaluated, false, nil
 	}
-	merged := instance.ApplyValueMap(work, rewrite)
-	// Replace work's contents in place.
-	for _, f := range work.Facts() {
-		work.RemoveFact(f)
-	}
-	work.AddAll(merged)
-	return true, nil
+	work.RewriteValues(rewrite)
+	return evaluated, true, nil
 }
 
 func egdSide(t logic.Term, plan *cq.Plan, env []symtab.Value) symtab.Value {
@@ -228,7 +485,9 @@ func egdSide(t logic.Term, plan *cq.Plan, env []symtab.Value) symtab.Value {
 
 // unionFind merges values with the invariant that a class containing a
 // constant is represented by that constant; merging two distinct constants
-// is an error (egd failure).
+// is an error (egd failure). Representatives are order-independent: the
+// final representative of a class is its constant, or among nulls the
+// largest Value (= earliest-created null).
 type unionFind struct {
 	parent map[symtab.Value]symtab.Value
 }
@@ -237,13 +496,22 @@ func newUnionFind() *unionFind {
 	return &unionFind{parent: make(map[symtab.Value]symtab.Value)}
 }
 
+// find returns the representative of v, compressing the path iteratively
+// (merge chains can be long enough to make recursion a stack hazard).
 func (uf *unionFind) find(v symtab.Value) symtab.Value {
-	p, ok := uf.parent[v]
-	if !ok || p == v {
-		return v
+	root := v
+	for {
+		p, ok := uf.parent[root]
+		if !ok || p == root {
+			break
+		}
+		root = p
 	}
-	root := uf.find(p)
-	uf.parent[v] = root
+	for v != root {
+		next := uf.parent[v]
+		uf.parent[v] = root
+		v = next
+	}
 	return root
 }
 
@@ -269,7 +537,9 @@ func (uf *unionFind) union(a, b symtab.Value) error {
 	return nil
 }
 
-// mapping returns the non-identity value rewrites.
+// mapping returns the non-identity value rewrites. Idempotent by
+// construction (images are representatives, which map to themselves), as
+// instance.RewriteValues requires.
 func (uf *unionFind) mapping() map[symtab.Value]symtab.Value {
 	out := make(map[symtab.Value]symtab.Value)
 	for v := range uf.parent {

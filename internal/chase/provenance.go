@@ -3,11 +3,13 @@ package chase
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cq"
 	"repro/internal/instance"
 	"repro/internal/logic"
 	"repro/internal/mapping"
+	"repro/internal/schema"
 	"repro/internal/symtab"
 )
 
@@ -35,12 +37,24 @@ type Provenance struct {
 	facts    []instance.Fact
 	ids      map[string]FactID
 	isSource []bool
+	// genID maps a tuple's insertion generation in Instance to its FactID
+	// (generations are dense: 1..Instance.Gen()). The chase resolves the
+	// body facts of a derivation from the join's generation rank through
+	// this table, avoiding a string-key map lookup per body atom.
+	genID []FactID
 
 	// supports[f] lists the support sets of fact f (Definition 4): each is
 	// a sorted list of fact ids whose conjunction derives f via one ground
 	// tgd. Source facts have none.
 	supports [][][]FactID
-	supSeen  []map[string]bool
+	// supSeen[f] dedups support sets; it is nil while the fact has few
+	// supports (linear comparison is cheaper) and materialized past a
+	// threshold.
+	supSeen []map[string]bool
+
+	supArena  arena[FactID]
+	valArena  arena[symtab.Value]
+	rankArena arena[uint64]
 
 	// usedIn[g] lists (fact, support-set index) pairs where g occurs, i.e.
 	// the reverse hyperedges used to compute influences (Definition 7).
@@ -94,22 +108,77 @@ func (p *Provenance) intern(f instance.Fact, source bool) (FactID, bool) {
 	return id, true
 }
 
+// supSeenThreshold is the support count past which dedup switches from
+// linear comparison to a per-fact string-key set.
+const supSeenThreshold = 16
+
 func (p *Provenance) addSupport(f FactID, set []FactID) {
-	sorted := append([]FactID(nil), set...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	key := encodeFactIDs(sorted)
-	if p.supSeen[f] == nil {
-		p.supSeen[f] = make(map[string]bool)
+	sorted := p.supArena.alloc(len(set))
+	copy(sorted, set)
+	// Insertion sort: support sets are tgd bodies, almost always 1-3 atoms.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
 	}
-	if p.supSeen[f][key] {
-		return
+	sups := p.supports[f]
+	if seen := p.supSeen[f]; seen != nil {
+		key := encodeFactIDs(sorted)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+	} else {
+		for _, s := range sups {
+			if factIDsEqual(s, sorted) {
+				return
+			}
+		}
+		if len(sups)+1 > supSeenThreshold {
+			seen = make(map[string]bool, 2*(len(sups)+1))
+			for _, s := range sups {
+				seen[encodeFactIDs(s)] = true
+			}
+			seen[encodeFactIDs(sorted)] = true
+			p.supSeen[f] = seen
+		}
 	}
-	p.supSeen[f][key] = true
-	idx := int32(len(p.supports[f]))
-	p.supports[f] = append(p.supports[f], sorted)
+	idx := int32(len(sups))
+	p.supports[f] = append(sups, sorted)
 	for _, g := range sorted {
 		p.usedIn[g] = append(p.usedIn[g], SupportRef{Fact: f, Set: idx})
 	}
+}
+
+func factIDsEqual(a, b []FactID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// arena bump-allocates small slices out of shared chunks, amortizing the
+// per-slice heap allocation of the chase's firing records and support sets.
+// Allocated slices stay valid for the arena's lifetime; nothing is freed.
+type arena[T any] struct{ cur []T }
+
+func (a *arena[T]) alloc(n int) []T {
+	const chunk = 1 << 14
+	if len(a.cur)+n > cap(a.cur) {
+		c := chunk
+		if n > c {
+			c = n
+		}
+		a.cur = make([]T, 0, c)
+	}
+	s := a.cur[len(a.cur) : len(a.cur)+n : len(a.cur)+n]
+	a.cur = a.cur[:len(a.cur)+n]
+	return s
 }
 
 func encodeFactIDs(ids []FactID) string {
@@ -123,109 +192,207 @@ func encodeFactIDs(ids []FactID) string {
 // GAV runs the datalog chase of src with the GAV mapping m, recording every
 // ground derivation and every egd violation. It returns an error if m is not
 // gav+(gav, egd).
-//
-// The chase iterates full rule passes until a pass adds no new facts; since
-// fact sets grow monotonically, the final pass enumerates every ground
-// derivation valid in the final instance, so the support-set hypergraph is
-// complete (every support set of Definition 4 is recorded).
 func GAV(m *mapping.Mapping, src *instance.Instance) (*Provenance, error) {
+	return GAVWithOptions(m, src, Options{})
+}
+
+// GAVWithOptions is GAV with an explicit strategy and stats sink.
+//
+// Under the default semi-naive strategy, a tgd is re-evaluated only when a
+// body relation gained facts since the tgd's watermark, and each evaluation
+// enumerates only the ground derivations using at least one such delta
+// fact. Every derivation is new exactly once (when its newest body fact
+// is), so the support-set hypergraph is complete (every support set of
+// Definition 4 is recorded), as with the naive fixpoint whose final full
+// pass enumerates every derivation valid in the final instance. Applying
+// each evaluation's firings in generation-rank order makes interning order,
+// support order, and violations byte-identical to the naive strategy.
+func GAVWithOptions(m *mapping.Mapping, src *instance.Instance, opt Options) (*Provenance, error) {
 	if !m.IsGAV() {
 		return nil, fmt.Errorf("chase: GAV chase requires a gav+(gav, egd) mapping")
 	}
+	st := opt.Stats
+	if st == nil {
+		st = &Stats{}
+	}
+	naive := opt.Strategy == StrategyNaive
 	p := &Provenance{
 		M:        m,
 		Instance: src.Clone(),
-		ids:      make(map[string]FactID, src.Len()*2),
+		ids:      make(map[string]FactID, src.Len()*4),
 	}
+	p.genID = make([]FactID, p.Instance.Gen()+1)
 	for _, f := range src.Facts() {
-		p.intern(f, true)
+		id, _ := p.intern(f, true)
+		g, ok := p.Instance.GenOf(f.Rel, f.Args)
+		if !ok {
+			panic("chase: source fact missing from cloned instance")
+		}
+		p.genID[g] = id
 	}
 
 	tgds := m.AllTgds()
+	execs := make([]*gavExec, len(tgds))
+	for i, d := range tgds {
+		execs[i] = compileGAV(d)
+	}
+	t0 := time.Now()
 	for round := 0; ; round++ {
 		if round > maxRounds {
 			return nil, fmt.Errorf("chase: GAV chase did not terminate after %d rounds", maxRounds)
 		}
+		st.Rounds++
 		grew := false
-		for _, d := range tgds {
-			if p.applyGAVTGD(d) {
-				grew = true
-			}
+		evaluated := false
+		for _, ge := range execs {
+			ev, added := p.applyGAVTGD(ge, naive, st)
+			evaluated = evaluated || ev
+			grew = grew || added
 		}
-		if !grew {
+		if naive {
+			if !grew {
+				break
+			}
+		} else if !evaluated {
 			break
 		}
 	}
+	st.TgdDuration += time.Since(t0)
+	t0 = time.Now()
 	p.findViolations()
+	st.ViolationDuration += time.Since(t0)
 	return p, nil
 }
 
-// applyGAVTGD enumerates all body matches over the current instance,
-// derives head facts, and records support sets. Reports whether any new
-// fact was added.
-func (p *Provenance) applyGAVTGD(d *logic.TGD) bool {
+// gavExec is one compiled GAV tgd: a reusable body plan, the head and body
+// instantiation templates, the body relation set for the dependency index,
+// and the semi-naive watermark. GAV heads have no existential variables, so
+// the head template only references environment slots and constants.
+type gavExec struct {
+	d         *logic.TGD
+	plan      *cq.Plan
+	bodyRels  []schema.RelID
+	watermark uint64
+	started   bool // evaluated at least once (watermark is meaningful)
+
+	headRel    schema.RelID
+	headConsts []symtab.Value
+	headSlot   []int
+	numBody    int
+
+	firings []gavFiring // scratch, reused across evaluations
+}
+
+type gavFiring struct {
+	args []symtab.Value
+	rank []uint64 // body-tuple gens per atom; resolved to FactIDs at apply time
+}
+
+func compileGAV(d *logic.TGD) *gavExec {
+	ge := &gavExec{d: d, plan: cq.Compile(d.Body)}
+	ge.bodyRels = ge.plan.Relations()
 	head := d.Head[0]
-	plan := cq.Compile(d.Body, p.Instance)
-	type firing struct {
-		args []symtab.Value
-		body []FactID
+	ge.headRel = head.Rel
+	ge.headConsts = make([]symtab.Value, len(head.Terms))
+	ge.headSlot = make([]int, len(head.Terms))
+	for j, t := range head.Terms {
+		if t.IsVar() {
+			ge.headSlot[j] = ge.plan.VarSlot[t.Var]
+		} else {
+			ge.headSlot[j] = -1
+			ge.headConsts[j] = t.Val
+		}
 	}
-	var firings []firing
-	plan.ForEach(p.Instance, func(env []symtab.Value) bool {
-		args := make([]symtab.Value, len(head.Terms))
-		for i, t := range head.Terms {
-			if t.IsVar() {
-				args[i] = env[plan.VarSlot[t.Var]]
+	ge.numBody = len(d.Body)
+	return ge
+}
+
+func (ge *gavExec) hasDelta(work *instance.Instance) bool {
+	if !ge.started {
+		return true
+	}
+	for _, r := range ge.bodyRels {
+		if work.RelGen(r) > ge.watermark {
+			return true
+		}
+	}
+	return false
+}
+
+// applyGAVTGD enumerates the (delta) body matches over the current
+// instance, derives head facts, and records support sets. It reports
+// whether the rule was evaluated and whether any new fact was added.
+func (p *Provenance) applyGAVTGD(ge *gavExec, naive bool, st *Stats) (evaluated, added bool) {
+	old := ge.watermark
+	if naive {
+		old = 0
+	} else if !ge.hasDelta(p.Instance) {
+		st.RuleSkips++
+		return false, false
+	}
+	cur := p.Instance.Gen()
+	st.RuleEvals++
+	ge.started = true
+	firings := ge.firings[:0]
+	var evalOrder []int
+	ge.plan.ForEachDelta(p.Instance, old, func(env []symtab.Value, rank []uint64, order []int) bool {
+		evalOrder = order
+		args := p.valArena.alloc(len(ge.headConsts))
+		for j := range args {
+			if s := ge.headSlot[j]; s >= 0 {
+				args[j] = env[s]
 			} else {
-				args[i] = t.Val
+				args[j] = ge.headConsts[j]
 			}
 		}
-		body := make([]FactID, len(d.Body))
-		for i, a := range d.Body {
-			bargs := make([]symtab.Value, len(a.Terms))
-			for j, t := range a.Terms {
-				if t.IsVar() {
-					bargs[j] = env[plan.VarSlot[t.Var]]
-				} else {
-					bargs[j] = t.Val
-				}
-			}
-			id, ok := p.ids[instance.Fact{Rel: a.Rel, Args: bargs}.Key()]
-			if !ok {
-				panic("chase: body fact not interned")
-			}
-			body[i] = id
-		}
-		firings = append(firings, firing{args: args, body: body})
+		r := p.rankArena.alloc(len(rank))
+		copy(r, rank)
+		firings = append(firings, gavFiring{args: args, rank: r})
 		return true
 	})
-	added := false
+	ge.watermark = cur
+	sort.Slice(firings, func(i, j int) bool { return rankLess(firings[i].rank, firings[j].rank, evalOrder) })
+	ge.firings = firings
+	body := make([]FactID, ge.numBody)
 	for _, fr := range firings {
-		f := instance.Fact{Rel: head.Rel, Args: fr.args}
-		if p.Instance.AddFact(f) {
+		st.Triggers++
+		f := instance.Fact{Rel: ge.headRel, Args: fr.args}
+		gen, isNew := p.Instance.AddWithGen(f.Rel, f.Args)
+		var id FactID
+		if isNew {
 			added = true
+			st.DeltaFacts++
+			id, _ = p.intern(f, false)
+			if int(gen) != len(p.genID) {
+				panic("chase: generation/fact-id tables out of sync")
+			}
+			p.genID = append(p.genID, id)
+		} else {
+			id = p.genID[gen]
 		}
-		id, _ := p.intern(f, false)
-		// Self-supports (a fact deriving itself) carry no information for
-		// closures/influence and would create spurious cycles; skip them.
+		// The matched body tuples are identified by their generations; all
+		// existed before this evaluation, so their ids are in the table.
 		self := false
-		for _, b := range fr.body {
+		for i, g := range fr.rank {
+			b := p.genID[g]
+			body[i] = b
+			// Self-supports (a fact deriving itself) carry no information
+			// for closures/influence and would create spurious cycles.
 			if b == id {
 				self = true
-				break
 			}
 		}
 		if !self {
-			p.addSupport(id, fr.body)
+			p.addSupport(id, body)
 		}
 	}
-	return added
+	return true, added
 }
 
 // findViolations enumerates violated ground egds over the final instance.
 func (p *Provenance) findViolations() {
 	for ei, d := range p.M.TEgds {
-		plan := cq.Compile(d.Body, p.Instance)
+		plan := cq.Compile(d.Body)
 		plan.ForEach(p.Instance, func(env []symtab.Value) bool {
 			l := egdSide(d.L, plan, env)
 			r := egdSide(d.R, plan, env)

@@ -191,8 +191,8 @@ func TestPlanCompileOrdersBoundFirst(t *testing.T) {
 		logic.NewAtom(w.cat, e, logic.V("a"), logic.V("b")),
 		logic.NewAtom(w.cat, p, logic.V("a")),
 	}
-	plan := Compile(body, w.in)
-	if plan.atoms[0].Rel != p.ID {
+	plan := Compile(body)
+	if order := plan.JoinOrder(w.in); plan.base[order[0]].rel != p.ID {
 		t.Fatal("plan did not start with the smaller relation")
 	}
 	n := 0
@@ -207,7 +207,7 @@ func TestForEachEarlyStop(t *testing.T) {
 	w.add("E", "a", "b")
 	w.add("E", "b", "c")
 	e := w.rel("E")
-	plan := Compile([]logic.Atom{logic.NewAtom(w.cat, e, logic.V("x"), logic.V("y"))}, w.in)
+	plan := Compile([]logic.Atom{logic.NewAtom(w.cat, e, logic.V("x"), logic.V("y"))})
 	n := 0
 	completed := plan.ForEach(w.in, func([]symtab.Value) bool { n++; return false })
 	if completed || n != 1 {

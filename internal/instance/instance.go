@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/schema"
 	"repro/internal/symtab"
@@ -50,6 +51,16 @@ func EncodeTuple(args []symtab.Value) string {
 	return b.String()
 }
 
+// appendTupleKey appends the canonical key bytes of args to buf. Lookups use
+// it with a stack buffer and a map[string(buf)] access, which the compiler
+// compiles without allocating the string; only inserts materialize a key.
+func appendTupleKey(buf []byte, args []symtab.Value) []byte {
+	for _, a := range args {
+		buf = append(buf, byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
+	}
+	return buf
+}
+
 // String renders the fact using the universe for value names.
 func (f Fact) String(cat *schema.Catalog, u *symtab.Universe) string {
 	return fmt.Sprintf("%s(%s)", cat.ByID(f.Rel).Name, strings.Join(u.Names(f.Args), ","))
@@ -65,47 +76,162 @@ func (f Fact) HasNull() bool {
 	return false
 }
 
-// relation stores the tuples of one relation plus lazily built column
-// indexes. Tuples are kept in an ordered slice (insertion order, with
-// swap-remove on delete) rather than ranged out of a map: every enumeration
-// the chase and query evaluator see is then deterministic, which keeps
-// ground-program atom numbering and rule order — and with them solver
-// effort and telemetry counters — identical from run to run.
+// relation stores the tuples of one relation plus per-column hash indexes.
+// Tuples are kept in an ordered slice (insertion order, with swap-remove on
+// delete) rather than ranged out of a map: every enumeration the chase and
+// query evaluator see is then deterministic, which keeps ground-program atom
+// numbering and rule order — and with them solver effort and telemetry
+// counters — identical from run to run.
+//
+// Indexes are persistent: once a column index exists it is updated
+// incrementally on every add and remove instead of being dropped and rebuilt
+// from scratch (the semi-naive chase probes the same columns every round, so
+// invalidate-on-write turned each round into a full re-index). Buckets hold
+// tuple positions in insertion order, so index-backed enumeration visits
+// tuples in the same deterministic order as a scan of the slice (for
+// add-only workloads; removals swap-move the tail tuple, which is itself
+// deterministic).
 type relation struct {
 	keys   map[string]int   // canonical tuple key -> index into tuples
 	tuples [][]symtab.Value // ordered; the single source of iteration order
-	// idx[col] maps a value to the tuples having that value in column col.
-	// Indexes are dropped on mutation and rebuilt on demand.
-	idx map[int]map[symtab.Value][][]symtab.Value
+	// gens[i] is the instance generation at which tuples[i] was inserted;
+	// it is the tuple's identity for delta tracking (DeltaSince) and for
+	// the old/delta split of semi-naive evaluation.
+	gens []uint64
+	// sorted reports whether gens is ascending; true until a swap-remove
+	// moves a late tuple into an early slot. While sorted, delta scans can
+	// binary-search their starting point.
+	sorted bool
+	// maxGen is the high-water insertion generation (monotone; removals do
+	// not lower it). RelGen uses it as a cheap "anything new?" test.
+	maxGen uint64
+	// idx[col] maps a value to the positions of the tuples having that
+	// value in column col, in insertion order. Built lazily per column,
+	// then maintained incrementally.
+	idx map[int]map[symtab.Value][]int32
 }
 
 func newRelation() *relation {
-	return &relation{keys: make(map[string]int)}
+	return &relation{keys: make(map[string]int), sorted: true}
 }
 
-func (r *relation) invalidate() { r.idx = nil }
-
-func (r *relation) index(col int) map[symtab.Value][][]symtab.Value {
+// index returns the column index, building it on first use.
+func (r *relation) index(col int, builds *atomic.Uint64) map[symtab.Value][]int32 {
 	if r.idx == nil {
-		r.idx = make(map[int]map[symtab.Value][][]symtab.Value)
+		r.idx = make(map[int]map[symtab.Value][]int32)
 	}
 	if m, ok := r.idx[col]; ok {
 		return m
 	}
-	m := make(map[symtab.Value][][]symtab.Value)
-	for _, tup := range r.tuples {
+	builds.Add(1)
+	m := make(map[symtab.Value][]int32)
+	for i, tup := range r.tuples {
 		v := tup[col]
-		m[v] = append(m[v], tup)
+		m[v] = append(m[v], int32(i))
 	}
 	r.idx[col] = m
 	return m
 }
 
+// add appends a tuple under its canonical key, reporting whether it was new.
+// Existing column indexes are extended in place.
+func (r *relation) add(k string, args []symtab.Value, gen uint64) bool {
+	if _, dup := r.keys[k]; dup {
+		return false
+	}
+	pos := len(r.tuples)
+	r.keys[k] = pos
+	r.tuples = append(r.tuples, args)
+	r.gens = append(r.gens, gen)
+	r.maxGen = gen
+	for col, m := range r.idx {
+		v := args[col]
+		m[v] = append(m[v], int32(pos))
+	}
+	return true
+}
+
+// remove deletes the tuple under k by swap-remove (the tail tuple takes its
+// slot). Column indexes are patched in place: the removed tuple's bucket
+// entries are deleted (preserving bucket order) and the moved tuple's
+// entries are repointed at its new position. The order change is itself
+// deterministic given deterministic insertion and removal sequences, which
+// is all iteration-order stability requires.
+func (r *relation) remove(k string) bool {
+	i, ok := r.keys[k]
+	if !ok {
+		return false
+	}
+	delete(r.keys, k)
+	removed := r.tuples[i]
+	for col, m := range r.idx {
+		bucketDelete(m, removed[col], int32(i))
+	}
+	last := len(r.tuples) - 1
+	if i != last {
+		moved := r.tuples[last]
+		r.tuples[i] = moved
+		r.gens[i] = r.gens[last]
+		r.keys[EncodeTuple(moved)] = i
+		for col, m := range r.idx {
+			bucketRepoint(m, moved[col], int32(last), int32(i))
+		}
+		r.sorted = false
+	}
+	r.tuples[last] = nil
+	r.tuples = r.tuples[:last]
+	r.gens = r.gens[:last]
+	return true
+}
+
+// bucketDelete removes position pos from the bucket of v, preserving the
+// relative order of the remaining entries.
+func bucketDelete(m map[symtab.Value][]int32, v symtab.Value, pos int32) {
+	b := m[v]
+	for j, p := range b {
+		if p == pos {
+			b = append(b[:j], b[j+1:]...)
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(m, v)
+	} else {
+		m[v] = b
+	}
+}
+
+// bucketRepoint rewrites position from to to in the bucket of v.
+func bucketRepoint(m map[symtab.Value][]int32, v symtab.Value, from, to int32) {
+	b := m[v]
+	for j, p := range b {
+		if p == from {
+			b[j] = to
+			return
+		}
+	}
+}
+
 // Instance is a mutable set of facts. The zero value is not usable; call New.
+//
+// An Instance is not safe for concurrent mutation. Concurrent reads are safe
+// only once every column index touched by the readers has been built (index
+// construction is lazy); the chase builds all indexes its plans need, so
+// instances it returns can be read concurrently by the query phase.
 type Instance struct {
 	cat  *schema.Catalog
 	rels map[schema.RelID]*relation
 	size int
+	// gen counts successful insertions; each inserted tuple is stamped with
+	// the post-increment value, so generations totally order tuples by
+	// insertion time across the whole instance.
+	gen uint64
+
+	// probes counts index-backed match enumerations and builds counts
+	// column-index constructions; both are atomic so concurrent readers can
+	// be metered without a data race.
+	probes atomic.Uint64
+	builds atomic.Uint64
 }
 
 // New returns an empty instance over the given catalog.
@@ -128,37 +254,99 @@ func (in *Instance) LenOf(rel schema.RelID) int {
 	return len(r.tuples)
 }
 
-// add appends a tuple under its canonical key, reporting whether it was new.
-func (r *relation) add(k string, args []symtab.Value) bool {
-	if _, dup := r.keys[k]; dup {
-		return false
+// Gen returns the current generation counter: the number of insertions the
+// instance has seen. A caller that snapshots Gen before a batch of work can
+// later enumerate exactly the tuples that batch added via DeltaSince or the
+// generation window of ForEachMatch.
+func (in *Instance) Gen() uint64 { return in.gen }
+
+// RelGen returns the high-water insertion generation of one relation (0 for
+// an absent or never-populated relation). RelGen(rel) > g iff the relation
+// gained at least one tuple after generation g (removals do not lower it),
+// which makes it the cheap has-delta test of the semi-naive chase.
+func (in *Instance) RelGen(rel schema.RelID) uint64 {
+	r, ok := in.rels[rel]
+	if !ok {
+		return 0
 	}
-	r.keys[k] = len(r.tuples)
-	r.tuples = append(r.tuples, args)
-	r.invalidate()
+	return r.maxGen
+}
+
+// GenOf returns the insertion generation of a present tuple (0, false when
+// absent).
+func (in *Instance) GenOf(rel schema.RelID, args []symtab.Value) (uint64, bool) {
+	r, ok := in.rels[rel]
+	if !ok {
+		return 0, false
+	}
+	var kb [64]byte
+	i, ok := r.keys[string(appendTupleKey(kb[:0], args))]
+	if !ok {
+		return 0, false
+	}
+	return r.gens[i], true
+}
+
+// DeltaSince returns the tuples of rel inserted after generation g, in
+// insertion order. The returned slices are shared with the instance; do not
+// mutate them.
+func (in *Instance) DeltaSince(rel schema.RelID, g uint64) [][]symtab.Value {
+	var out [][]symtab.Value
+	in.forEachIn(rel, g, ^uint64(0), func(t []symtab.Value, _ uint64) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// forEachIn enumerates tuples of rel with generation in (lo, hi], in slice
+// order (ascending-generation order while the relation has seen no
+// swap-removes, in which case the start is binary-searched).
+func (in *Instance) forEachIn(rel schema.RelID, lo, hi uint64, fn func([]symtab.Value, uint64) bool) bool {
+	r, ok := in.rels[rel]
+	if !ok {
+		return true
+	}
+	start := 0
+	if lo > 0 && r.sorted {
+		start = sort.Search(len(r.gens), func(i int) bool { return r.gens[i] > lo })
+	}
+	for i := start; i < len(r.tuples); i++ {
+		g := r.gens[i]
+		if g > hi {
+			if r.sorted {
+				break // gens ascend: nothing later can be in the window
+			}
+			continue
+		}
+		if g <= lo {
+			continue
+		}
+		if !fn(r.tuples[i], g) {
+			return false
+		}
+	}
 	return true
 }
 
-// remove deletes the tuple under k by swap-remove (the tail tuple takes its
-// slot). The order change is itself deterministic given deterministic
-// insertion and removal sequences, which is all iteration-order stability
-// requires.
-func (r *relation) remove(k string) bool {
-	i, ok := r.keys[k]
+// addTuple appends a tuple under its canonical key. It returns the tuple's
+// insertion generation (the pre-existing one on a duplicate) and whether the
+// tuple was new.
+func (in *Instance) addTuple(rel schema.RelID, args []symtab.Value) (uint64, bool) {
+	r, ok := in.rels[rel]
 	if !ok {
-		return false
+		r = newRelation()
+		in.rels[rel] = r
 	}
-	delete(r.keys, k)
-	last := len(r.tuples) - 1
-	if i != last {
-		moved := r.tuples[last]
-		r.tuples[i] = moved
-		r.keys[EncodeTuple(moved)] = i
+	var kb [64]byte
+	k := appendTupleKey(kb[:0], args)
+	if i, dup := r.keys[string(k)]; dup {
+		return r.gens[i], false
 	}
-	r.tuples[last] = nil
-	r.tuples = r.tuples[:last]
-	r.invalidate()
-	return true
+	r.add(string(k), args, in.gen+1)
+	in.gen++
+	in.size++
+	return in.gen, true
 }
 
 // Insert inserts a fact, reporting whether it was newly added. An
@@ -170,16 +358,19 @@ func (in *Instance) Insert(rel schema.RelID, args []symtab.Value) (bool, error) 
 	if want := in.cat.ByID(rel).Arity; len(args) != want {
 		return false, fmt.Errorf("instance: %w", &schema.ArityError{Rel: in.cat.ByID(rel).Name, Want: want, Got: len(args)})
 	}
-	r, ok := in.rels[rel]
-	if !ok {
-		r = newRelation()
-		in.rels[rel] = r
+	_, added := in.addTuple(rel, args)
+	return added, nil
+}
+
+// AddWithGen inserts like Add but also returns the tuple's insertion
+// generation — the fresh generation when newly added, the existing tuple's
+// when a duplicate. The chase uses this to key facts by generation without
+// re-encoding tuples.
+func (in *Instance) AddWithGen(rel schema.RelID, args []symtab.Value) (uint64, bool) {
+	if want := in.cat.ByID(rel).Arity; len(args) != want {
+		panic(fmt.Errorf("instance: %w", &schema.ArityError{Rel: in.cat.ByID(rel).Name, Want: want, Got: len(args)}))
 	}
-	if !r.add(EncodeTuple(args), args) {
-		return false, nil
-	}
-	in.size++
-	return true, nil
+	return in.addTuple(rel, args)
 }
 
 // InsertFact inserts f; see Insert.
@@ -221,7 +412,8 @@ func (in *Instance) Contains(rel schema.RelID, args []symtab.Value) bool {
 	if !ok {
 		return false
 	}
-	_, present := r.keys[EncodeTuple(args)]
+	var kb [64]byte
+	_, present := r.keys[string(appendTupleKey(kb[:0], args))]
 	return present
 }
 
@@ -268,41 +460,69 @@ func (in *Instance) relIDs() []schema.RelID {
 	return ids
 }
 
-// Lookup returns the tuples of rel whose column col holds value v.
-// The result is index-backed; do not mutate the returned slices.
+// Lookup returns the tuples of rel whose column col holds value v, in
+// deterministic (insertion) order. Do not mutate the returned slices.
 func (in *Instance) Lookup(rel schema.RelID, col int, v symtab.Value) [][]symtab.Value {
 	r, ok := in.rels[rel]
 	if !ok {
 		return nil
 	}
-	return r.index(col)[v]
+	in.probes.Add(1)
+	bucket := r.index(col, &in.builds)[v]
+	out := make([][]symtab.Value, len(bucket))
+	for i, pos := range bucket {
+		out[i] = r.tuples[pos]
+	}
+	return out
 }
 
-// Match returns the tuples of rel consistent with pattern, where
-// symtab.None entries are wildcards. It uses a column index when at least
-// one position is bound.
-func (in *Instance) Match(rel schema.RelID, pattern []symtab.Value) [][]symtab.Value {
+// ForEachMatch enumerates the tuples of rel consistent with pattern (where
+// symtab.None entries are wildcards) whose insertion generation g satisfies
+// lo < g <= hi, calling fn with each tuple and its generation. It uses the
+// column index of the first bound position when one exists. fn returning
+// false stops the enumeration; ForEachMatch reports whether it ran to
+// completion.
+//
+// The full instance is (0, ^uint64(0)]; the delta after generation g is
+// (g, ^uint64(0)]; the pre-g instance is (0, g].
+func (in *Instance) ForEachMatch(rel schema.RelID, pattern []symtab.Value, lo, hi uint64, fn func(tup []symtab.Value, gen uint64) bool) bool {
 	r, ok := in.rels[rel]
 	if !ok {
-		return nil
+		return true
 	}
+	// Probe every bound column and scan the smallest bucket (bucket choice
+	// does not affect output order: every bucket lists positions in
+	// insertion order, and the full pattern is re-checked per tuple).
 	bound := -1
+	var bucket []int32
 	for i, p := range pattern {
-		if p != symtab.None {
-			bound = i
+		if p == symtab.None {
+			continue
+		}
+		b := r.index(i, &in.builds)[p]
+		if bound < 0 || len(b) < len(bucket) {
+			bound, bucket = i, b
+		}
+		if len(bucket) == 0 {
 			break
 		}
 	}
-	var cands [][]symtab.Value
 	if bound < 0 {
-		cands = make([][]symtab.Value, 0, len(r.tuples))
-		for _, t := range r.tuples {
-			cands = append(cands, t)
-		}
-		return cands
+		return in.forEachIn(rel, lo, hi, fn)
 	}
-	var out [][]symtab.Value
-	for _, t := range r.index(bound)[pattern[bound]] {
+	in.probes.Add(1)
+	for _, pos := range bucket {
+		g := r.gens[pos]
+		if g > hi {
+			if r.sorted {
+				break // bucket follows insertion order: gens ascend
+			}
+			continue
+		}
+		if g <= lo {
+			continue
+		}
+		t := r.tuples[pos]
 		ok := true
 		for i, p := range pattern {
 			if p != symtab.None && t[i] != p {
@@ -310,27 +530,104 @@ func (in *Instance) Match(rel schema.RelID, pattern []symtab.Value) [][]symtab.V
 				break
 			}
 		}
-		if ok {
-			out = append(out, t)
+		if ok && !fn(t, g) {
+			return false
 		}
 	}
+	return true
+}
+
+// Match returns the tuples of rel consistent with pattern, where
+// symtab.None entries are wildcards. It uses a column index when at least
+// one position is bound.
+func (in *Instance) Match(rel schema.RelID, pattern []symtab.Value) [][]symtab.Value {
+	var out [][]symtab.Value
+	in.ForEachMatch(rel, pattern, 0, ^uint64(0), func(t []symtab.Value, _ uint64) bool {
+		out = append(out, t)
+		return true
+	})
 	return out
 }
 
+// IndexProbes returns the number of index-backed match enumerations the
+// instance has served. Safe to read concurrently.
+func (in *Instance) IndexProbes() uint64 { return in.probes.Load() }
+
+// IndexBuilds returns the number of column indexes built. With persistent
+// incremental maintenance this stays at one per (relation, column) the
+// evaluator ever binds, where the invalidate-on-write scheme rebuilt per
+// chase round. Safe to read concurrently.
+func (in *Instance) IndexBuilds() uint64 { return in.builds.Load() }
+
+// RewriteValues applies the value map m to the instance in place: every
+// tuple containing a key of m is removed and re-inserted with each such
+// value v replaced by m[v]. Facts that collide after replacement merge.
+// It returns the number of tuples rewritten.
+//
+// The image values of m must not themselves be keys of m (i.e. m must be
+// idempotent, as produced by a resolved union-find); otherwise a rewritten
+// tuple could need rewriting again. Only tuples containing a remapped value
+// are touched, so untouched tuples keep their positions and insertion
+// generations, while rewritten tuples are stamped as new — exactly the
+// delta semantics the semi-naive chase needs after an egd merge.
+func (in *Instance) RewriteValues(m map[symtab.Value]symtab.Value) int {
+	if len(m) == 0 {
+		return 0
+	}
+	var hitRels []schema.RelID
+	var hitTuples [][]symtab.Value
+	for _, rel := range in.relIDs() {
+		for _, t := range in.rels[rel].tuples {
+			for _, v := range t {
+				if _, remap := m[v]; remap {
+					hitRels = append(hitRels, rel)
+					hitTuples = append(hitTuples, t)
+					break
+				}
+			}
+		}
+	}
+	// Remove every affected tuple first, then insert the rewritten forms:
+	// interleaving could drop a not-yet-processed original that happens to
+	// equal a rewritten tuple.
+	for i, t := range hitTuples {
+		in.Remove(hitRels[i], t)
+	}
+	for i, t := range hitTuples {
+		args := make([]symtab.Value, len(t))
+		for j, v := range t {
+			if img, ok := m[v]; ok {
+				args[j] = img
+			} else {
+				args[j] = v
+			}
+		}
+		in.Add(hitRels[i], args)
+	}
+	return len(hitTuples)
+}
+
 // Clone returns a deep-enough copy: fact sets are copied, tuples are shared
-// (tuples are treated as immutable throughout the codebase). Tuple order is
-// preserved.
+// (tuples are treated as immutable throughout the codebase). Tuple order and
+// insertion generations are preserved; column indexes are rebuilt lazily on
+// the clone.
 func (in *Instance) Clone() *Instance {
 	cp := New(in.cat)
 	for id, r := range in.rels {
 		nr := newRelation()
+		// Presize with headroom: clones feed the chase, which grows them.
+		nr.keys = make(map[string]int, 2*len(r.keys))
 		nr.tuples = append([][]symtab.Value(nil), r.tuples...)
+		nr.gens = append([]uint64(nil), r.gens...)
+		nr.sorted = r.sorted
+		nr.maxGen = r.maxGen
 		for k, i := range r.keys {
 			nr.keys[k] = i
 		}
 		cp.rels[id] = nr
 	}
 	cp.size = in.size
+	cp.gen = in.gen
 	return cp
 }
 

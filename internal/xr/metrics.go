@@ -33,6 +33,17 @@ type meters struct {
 	exEnvSeconds    *telemetry.Histogram
 	exSeconds       *telemetry.Histogram
 
+	// Semi-naive chase breakdown (DESIGN.md §12).
+	chaseRounds     *telemetry.Counter
+	chaseRuleEvals  *telemetry.Counter
+	chaseRuleSkips  *telemetry.Counter
+	chaseTriggers   *telemetry.Counter
+	chaseDeltaFacts *telemetry.Counter
+	indexProbes     *telemetry.Counter
+	indexBuilds     *telemetry.Counter
+	chaseTgdSeconds *telemetry.Histogram
+	chaseVioSeconds *telemetry.Histogram
+
 	// Query phase (QueryStats totals).
 	queries        *telemetry.Counter
 	candidates     *telemetry.Counter
@@ -88,6 +99,16 @@ func newMeters(reg *telemetry.Registry) *meters {
 		exChaseSeconds:  reg.Histogram("xr_exchange_chase_seconds"),
 		exEnvSeconds:    reg.Histogram("xr_exchange_envelopes_seconds"),
 		exSeconds:       reg.Histogram("xr_exchange_seconds"),
+
+		chaseRounds:     reg.Counter("xr_chase_rounds_total"),
+		chaseRuleEvals:  reg.Counter("xr_chase_rule_evals_total"),
+		chaseRuleSkips:  reg.Counter("xr_chase_rule_skips_total"),
+		chaseTriggers:   reg.Counter("xr_chase_triggers_fired_total"),
+		chaseDeltaFacts: reg.Counter("xr_chase_delta_facts_total"),
+		indexProbes:     reg.Counter("xr_index_probes_total"),
+		indexBuilds:     reg.Counter("xr_index_builds_total"),
+		chaseTgdSeconds: reg.Histogram("xr_chase_tgd_seconds"),
+		chaseVioSeconds: reg.Histogram("xr_chase_violations_seconds"),
 
 		queries:        reg.Counter("xr_queries_total"),
 		candidates:     reg.Counter("xr_query_candidates_total"),
@@ -151,6 +172,15 @@ func (m *meters) recordExchange(st ExchangeStats) {
 	m.exChaseSeconds.Observe(st.ChaseDuration)
 	m.exEnvSeconds.Observe(st.EnvDuration)
 	m.exSeconds.Observe(st.Duration)
+	m.chaseRounds.Add(int64(st.ChaseRounds))
+	m.chaseRuleEvals.Add(int64(st.ChaseRuleEvals))
+	m.chaseRuleSkips.Add(int64(st.ChaseRuleSkips))
+	m.chaseTriggers.Add(int64(st.ChaseTriggers))
+	m.chaseDeltaFacts.Add(int64(st.ChaseDeltaFacts))
+	m.indexProbes.Add(int64(st.IndexProbes))
+	m.indexBuilds.Add(int64(st.IndexBuilds))
+	m.chaseTgdSeconds.Observe(st.ChaseTgdDuration)
+	m.chaseVioSeconds.Observe(st.ChaseViolationDuration)
 }
 
 // recordQuery aggregates one finished query, plus a per-engine query count

@@ -33,7 +33,8 @@ type Cluster struct {
 	Influence map[chase.FactID]bool
 }
 
-// ExchangeStats records exchange-phase measurements (Table 4).
+// ExchangeStats records exchange-phase measurements (Table 4), including
+// the semi-naive chase breakdown (DESIGN.md §12).
 type ExchangeStats struct {
 	SourceFacts    int
 	TotalFacts     int // source + derived (quasi-solution)
@@ -45,6 +46,19 @@ type ExchangeStats struct {
 	ChaseDuration  time.Duration
 	EnvDuration    time.Duration
 	Duration       time.Duration
+
+	// Chase-internal breakdown: fixpoint rounds, rule evaluations performed
+	// vs skipped by the dependency index, ground derivations fired, new
+	// facts added, and instance index activity during the chase.
+	ChaseRounds            int
+	ChaseRuleEvals         int
+	ChaseRuleSkips         int
+	ChaseTriggers          int
+	ChaseDeltaFacts        int
+	IndexProbes            uint64
+	IndexBuilds            uint64
+	ChaseTgdDuration       time.Duration
+	ChaseViolationDuration time.Duration
 }
 
 // Exchange is the result of the query-independent exchange phase
@@ -98,7 +112,8 @@ func NewExchangeOpts(m *mapping.Mapping, src *instance.Instance, opts Options) (
 		return nil, err
 	}
 	afterReduce := time.Now()
-	prov, err := chase.GAV(red.M, src)
+	var cst chase.Stats
+	prov, err := chase.GAVWithOptions(red.M, src, chase.Options{Stats: &cst})
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +212,16 @@ func NewExchangeOpts(m *mapping.Mapping, src *instance.Instance, opts Options) (
 		ChaseDuration:  afterChase.Sub(afterReduce),
 		EnvDuration:    end.Sub(afterChase),
 		Duration:       end.Sub(start),
+
+		ChaseRounds:            cst.Rounds,
+		ChaseRuleEvals:         cst.RuleEvals,
+		ChaseRuleSkips:         cst.RuleSkips,
+		ChaseTriggers:          cst.Triggers,
+		ChaseDeltaFacts:        cst.DeltaFacts,
+		IndexProbes:            prov.Instance.IndexProbes(),
+		IndexBuilds:            prov.Instance.IndexBuilds(),
+		ChaseTgdDuration:       cst.TgdDuration,
+		ChaseViolationDuration: cst.ViolationDuration,
 	}
 	ex.mt = newMeters(opts.Metrics)
 	ex.mt.recordExchange(ex.Stats)

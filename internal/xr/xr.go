@@ -80,7 +80,7 @@ func collectCandidates(rq *logic.UCQ, prov *chase.Provenance) []*candidate {
 	var order []string
 	for ci := range rq.Clauses {
 		c := &rq.Clauses[ci]
-		plan := cq.Compile(c.Body, prov.Instance)
+		plan := cq.Compile(c.Body)
 		plan.ForEach(prov.Instance, func(env []symtab.Value) bool {
 			tuple := make([]symtab.Value, len(c.Head))
 			for i, t := range c.Head {
