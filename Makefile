@@ -2,7 +2,7 @@
 # The parallel segmentary query phase and the signature-program cache are
 # exercised concurrently by the tests, so -race is part of the gate.
 # check also builds every command so CLI-only breakage cannot slip past.
-.PHONY: check build test bench bench-smoke lint fuzz fuzz-smoke chaos
+.PHONY: check build test bench bench-smoke bench-diff lint fuzz fuzz-smoke chaos
 
 check: fuzz-smoke
 	go build ./cmd/...
@@ -23,6 +23,13 @@ bench:
 # instance is inconsistent and the solver counters are live).
 bench-smoke:
 	go run ./cmd/xrbench -json BENCH_S3.json -profile S3 -scale 0.1
+
+# bench-diff reruns the S3 profile and diffs it against the committed
+# baseline report; exits 4 when a wall time or work counter regresses by
+# more than the threshold (wall times on shared CI hardware are noisy, so
+# the default gate is generous).
+bench-diff:
+	go run ./cmd/xrbench -compare BENCH_S3.json -profile S3 -scale 0.1 -threshold 100
 
 # fuzz runs each fuzzer for 30s (go's engine takes one fuzzer per
 # invocation). fuzz-smoke is the 10s CI variant wired into check.

@@ -41,18 +41,33 @@ func main() {
 		jsonPath    = flag.String("json", "", "write a machine-readable report to this path instead of running experiments")
 		profile     = flag.String("profile", "S3", "genome profile for the -json report (S3, M3, L0, L3, L9, L20, F3)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus/expvar/pprof on this address during the run (empty = off)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this path")
+		compare     = flag.String("compare", "", "diff a baseline benchkit report (JSON) against -against; exit 4 on regression")
+		against     = flag.String("against", "", "current report for -compare (defaults to running -profile fresh)")
+		threshold   = flag.Float64("threshold", 10, "regression threshold for -compare, in percent")
 	)
 	flag.Parse()
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	if err := run(*experiment, *scale, *monoTimeout, *parallel, *quiet, *jsonPath, *profile, *metricsAddr); err != nil {
+	if *compare != "" {
+		regressed, err := runCompare(*compare, *against, *scale, *monoTimeout, *parallel, *profile, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xrbench:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(4)
+		}
+		return
+	}
+	if err := run(*experiment, *scale, *monoTimeout, *parallel, *quiet, *jsonPath, *profile, *metricsAddr, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, scale float64, monoTimeout time.Duration, parallel int, quiet bool, jsonPath, profile, metricsAddr string) error {
+func run(experiment string, scale float64, monoTimeout time.Duration, parallel int, quiet bool, jsonPath, profile, metricsAddr, traceOut string) error {
 	r, err := benchkit.NewRunner(scale, monoTimeout)
 	if err != nil {
 		return err
@@ -60,6 +75,14 @@ func run(experiment string, scale float64, monoTimeout time.Duration, parallel i
 	r.Parallelism = parallel
 	if !quiet {
 		r.Progress = os.Stderr
+	}
+	if traceOut != "" {
+		r.Tracer = telemetry.NewTracer()
+		defer func() {
+			if werr := writeTrace(r.Tracer, traceOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "xrbench:", werr)
+			}
+		}()
 	}
 	if metricsAddr != "" {
 		r.Metrics = telemetry.NewRegistry()
@@ -139,4 +162,51 @@ func writeReport(r *benchkit.Runner, profile, path string) error {
 	fmt.Fprintf(os.Stderr, "xrbench: exchange %.3fs (chase %.3fs: %d rounds, %d/%d rule evals/skips, %d triggers, %d new facts, %d probes, %d index builds)\n",
 		rep.Exchange.Seconds, rep.Exchange.ChaseSeconds, b.ChaseRounds, b.ChaseRuleEvals, b.ChaseRuleSkips, b.ChaseTriggers, b.ChaseDeltaFacts, b.IndexProbes, b.IndexBuilds)
 	return nil
+}
+
+// writeTrace exports the runner's span timeline as Chrome trace-event JSON.
+func writeTrace(t *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xrbench: wrote trace timeline to %s\n", path)
+	return nil
+}
+
+// runCompare diffs a baseline report against a current one (read from
+// -against, or produced by a fresh run of -profile when -against is empty)
+// and prints the per-metric deltas. It reports regressed=true when any
+// time-like metric or counter grew beyond the threshold percentage.
+func runCompare(basePath, againstPath string, scale float64, monoTimeout time.Duration, parallel int, profile string, threshold float64) (bool, error) {
+	base, err := benchkit.LoadReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	var cur *benchkit.BenchReport
+	if againstPath != "" {
+		if cur, err = benchkit.LoadReport(againstPath); err != nil {
+			return false, err
+		}
+	} else {
+		r, err := benchkit.NewRunner(scale, monoTimeout)
+		if err != nil {
+			return false, err
+		}
+		r.Parallelism = parallel
+		r.Progress = os.Stderr
+		if cur, err = r.Report(profile); err != nil {
+			return false, err
+		}
+	}
+	diff := benchkit.CompareReports(base, cur, threshold)
+	diff.Render(os.Stdout)
+	return diff.Regressed(), nil
 }

@@ -46,9 +46,14 @@ type config struct {
 	sigTimeout   time.Duration
 	maxDecisions int64
 	maxConflicts int64
+	explain      bool
+	why          string
+	traceOut     string
 
 	// metrics is the run's registry, non-nil when metricsAddr is set.
 	metrics *repro.Metrics
+	// tracer is the run's span collector, non-nil when traceOut is set.
+	tracer *repro.Tracer
 }
 
 func main() {
@@ -69,6 +74,9 @@ func main() {
 	flag.DurationVar(&cfg.sigTimeout, "sig-timeout", 0, "per-signature solving timeout (0 = none; segmentary engine only)")
 	flag.Int64Var(&cfg.maxDecisions, "max-decisions", 0, "per-signature solver decision budget (0 = unlimited)")
 	flag.Int64Var(&cfg.maxConflicts, "max-conflicts", 0, "per-signature solver conflict budget (0 = unlimited)")
+	flag.BoolVar(&cfg.explain, "explain", false, "print one explanation per candidate tuple (segmentary engine only)")
+	flag.StringVar(&cfg.why, "why", "", "explain one tuple, e.g. 'q(a, b)' (segmentary engine only; implies -explain machinery)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace-event JSON timeline to this path (load in about:tracing or Perfetto)")
 	flag.Parse()
 	if *mappingPath == "" || *factsPath == "" || *queriesPath == "" {
 		flag.Usage()
@@ -117,6 +125,12 @@ func (c config) queryOptions() []repro.Option {
 	if c.metrics != nil {
 		opts = append(opts, repro.WithMetrics(c.metrics))
 	}
+	if c.explain {
+		opts = append(opts, repro.WithExplanations(true))
+	}
+	if c.tracer != nil {
+		opts = append(opts, repro.WithTracer(c.tracer))
+	}
 	return opts
 }
 
@@ -135,6 +149,14 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) (degraded bool,
 				snap.Counters["xr_programs_total"], snap.Counters["xr_solver_decisions_total"],
 				snap.Counters["xr_solver_conflicts_total"], snap.Counters["xr_solver_propagations_total"],
 				snap.Counters["xr_solver_restarts_total"])
+		}()
+	}
+	if cfg.traceOut != "" {
+		cfg.tracer = repro.NewTracer()
+		defer func() {
+			if werr := writeTrace(cfg.tracer, cfg.traceOut); werr != nil && err == nil {
+				err = werr
+			}
 		}()
 	}
 	sys, err := loadSystem(mappingPath)
@@ -171,6 +193,9 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) (degraded bool,
 		st := ex.Stats()
 		fmt.Printf("# exchange phase: %v (violations=%d clusters=%d suspect=%d)\n",
 			st.Duration, st.Violations, st.Clusters, ex.SuspectFacts())
+		if cfg.why != "" {
+			return false, explainWhy(ex, queries, cfg)
+		}
 		for _, q := range queries {
 			ans, err := ex.Answer(q, opts...)
 			if err != nil {
@@ -254,6 +279,77 @@ func printAnswers(name string, ans *repro.Answers, stats bool) {
 	for _, row := range ans.Unknown {
 		fmt.Printf("  ? %s(%s)\n", name, strings.Join(row, ", "))
 	}
+	// Explanations (WithExplanations) print as indented blocks, one per
+	// candidate tuple, in deterministic candidate order.
+	for _, e := range ans.Explanations {
+		for _, line := range strings.Split(strings.TrimRight(e.Text, "\n"), "\n") {
+			fmt.Printf("  | %s\n", line)
+		}
+	}
+}
+
+// explainWhy handles -why: explain one tuple of one query and print it.
+func explainWhy(ex *repro.Exchange, queries []*repro.Query, cfg config) error {
+	name, args, err := parseWhy(cfg.why)
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		if q.Name() != name {
+			continue
+		}
+		e, err := ex.Why(q, args, cfg.queryOptions()...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(e.Text)
+		return nil
+	}
+	return fmt.Errorf("-why: no query named %q in the query file", name)
+}
+
+// parseWhy splits "q(a, b)" into the query name and its argument constants.
+// Surrounding quotes on constants are stripped ('x' and x both name the
+// constant x, matching the fact-file convention).
+func parseWhy(s string) (string, []string, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("-why: want 'query(const, ...)', got %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return name, nil, nil
+	}
+	parts := strings.Split(inner, ",")
+	args := make([]string, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		p = strings.Trim(p, "'\"")
+		if p == "" {
+			return "", nil, fmt.Errorf("-why: empty argument %d in %q", i+1, s)
+		}
+		args[i] = p
+	}
+	return name, args, nil
+}
+
+// writeTrace exports the collected span tree as Chrome trace-event JSON.
+func writeTrace(t *repro.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xrquery: wrote trace timeline to %s\n", path)
+	return nil
 }
 
 func plural(n int, one, many string) string {

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -79,6 +82,105 @@ func TestRunErrors(t *testing.T) {
 	badFacts := writeTemp(t, "bad.facts", "Nope(1).")
 	if _, err := run(m, badFacts, q, seg); err == nil {
 		t.Fatal("bad facts accepted")
+	}
+}
+
+// TestRunExplain drives -explain and -why end to end on the conflicted
+// fixture (q(t1, 1) and q(t1, 2) are rejected, q(t2, 3) is safe).
+func TestRunExplain(t *testing.T) {
+	m, f, q := fixtureFiles(t)
+	if _, err := run(m, f, q, config{engine: "seg", parallel: 2, explain: true}); err != nil {
+		t.Fatalf("-explain run failed: %v", err)
+	}
+	if _, err := run(m, f, q, config{engine: "seg", parallel: 1, why: "q(t1, 1)"}); err != nil {
+		t.Fatalf("-why run failed: %v", err)
+	}
+	if _, err := run(m, f, q, config{engine: "seg", parallel: 1, why: "nope(t1)"}); err == nil {
+		t.Fatal("-why with an unknown query name accepted")
+	}
+	if _, err := run(m, f, q, config{engine: "seg", parallel: 1, why: "gibberish"}); err == nil {
+		t.Fatal("-why with unparsable input accepted")
+	}
+}
+
+func TestParseWhy(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		args []string
+		ok   bool
+	}{
+		{"q(a, b)", "q", []string{"a", "b"}, true},
+		{" q( 'a' , \"b\" ) ", "q", []string{"a", "b"}, true},
+		{"boolean()", "boolean", nil, true},
+		{"no-parens", "", nil, false},
+		{"(a)", "", nil, false},
+		{"q(a,,b)", "", nil, false},
+	}
+	for _, tc := range cases {
+		name, args, err := parseWhy(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("parseWhy(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && (name != tc.name || !reflect.DeepEqual(args, tc.args)) {
+			t.Fatalf("parseWhy(%q) = %q %v, want %q %v", tc.in, name, args, tc.name, tc.args)
+		}
+	}
+}
+
+// TestRunTraceOut checks the -trace-out artifact: valid Chrome trace-event
+// JSON with the signature span nested (via the parent arg) under the
+// query-phase span.
+func TestRunTraceOut(t *testing.T) {
+	m, f, q := fixtureFiles(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := run(m, f, q, config{engine: "seg", parallel: 2, traceOut: path}); err != nil {
+		t.Fatalf("-trace-out run failed: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	queryID := ""
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && strings.HasPrefix(ev.Name, "query ") {
+			queryID, _ = ev.Args["id"].(string)
+		}
+	}
+	if queryID == "" {
+		t.Fatal("no query-phase span in the trace")
+	}
+	foundSig, foundExchange := false, false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Name == "exchange" {
+			foundExchange = true
+		}
+		if strings.HasPrefix(ev.Name, "signature {") {
+			foundSig = true
+			if parent, _ := ev.Args["parent"].(string); parent != queryID {
+				t.Fatalf("signature span parented to %v, want query span %v", ev.Args["parent"], queryID)
+			}
+		}
+	}
+	if !foundSig {
+		t.Fatal("no per-signature span in the trace")
+	}
+	if !foundExchange {
+		t.Fatal("no exchange-phase span in the trace")
 	}
 }
 

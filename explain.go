@@ -1,0 +1,113 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chase"
+	"repro/internal/explain"
+	"repro/internal/symtab"
+	"repro/internal/xr"
+)
+
+// Explanation is the rendered account of why one candidate tuple was
+// accepted, rejected, or left unknown by an XR-Certain (or XR-Possible)
+// query. Text is a deterministic multi-line block: byte-identical across
+// runs, at any WithParallelism setting, and across signature-cache states.
+// Signature uses the same key vocabulary as TraceEvent.SignatureKey and
+// SignatureError.Signature, so explanations cross-reference -trace output
+// directly. See DESIGN.md §13 for the witness-extraction argument.
+type Explanation struct {
+	Query string
+	Tuple []string
+	// Verdict is one of "safe", "certain", "rejected", "possible",
+	// "impossible", "unknown", "no-support".
+	Verdict string
+	// Signature is the canonical cluster-signature key ("2,7"); empty for
+	// tuples that never reached a signature program.
+	Signature string
+	// Cause classifies an "unknown" verdict: "budget", "timeout", "panic",
+	// "canceled", or "error". Empty otherwise.
+	Cause string
+	// Retries counts budget-doubling retries before the signature degraded.
+	Retries int
+	// Text is the rendered explanation, including the counterexample
+	// exchange-repair for rejected tuples (sources dropped, suspect facts
+	// kept, target facts lost).
+	Text string
+}
+
+// renderer builds the exchange's deterministic explanation renderer over
+// the system's symbol tables.
+func (e *Exchange) renderer() *explain.Renderer {
+	return &explain.Renderer{
+		FormatFact: func(f chase.FactID) string {
+			return e.ex.Prov.Fact(f).String(e.sys.w.Cat, e.sys.w.U)
+		},
+		FormatValue: func(v symtab.Value) string { return e.sys.w.U.Name(v) },
+	}
+}
+
+// attachExplanations renders the engine-level explanations (if any) into
+// the public Answers.
+func (e *Exchange) attachExplanations(a *Answers, res *xr.Result) {
+	if len(res.Explanations) == 0 {
+		return
+	}
+	r := e.renderer()
+	a.Explanations = make([]Explanation, 0, len(res.Explanations))
+	for _, xe := range res.Explanations {
+		a.Explanations = append(a.Explanations, e.renderExplanation(r, xe))
+	}
+}
+
+func (e *Exchange) renderExplanation(r *explain.Renderer, xe *explain.Explanation) Explanation {
+	tuple := make([]string, len(xe.Tuple))
+	for i, v := range xe.Tuple {
+		tuple[i] = e.sys.w.U.Name(v)
+	}
+	return Explanation{
+		Query:     xe.Query,
+		Tuple:     tuple,
+		Verdict:   string(xe.Verdict),
+		Signature: xe.Signature,
+		Cause:     xe.Cause,
+		Retries:   xe.Retries,
+		Text:      r.Render(xe),
+	}
+}
+
+// Why explains one specific tuple of q under XR-Certain semantics: why it
+// is (or is not) an XR-certain answer. args are the tuple's constants, one
+// per query head position. For a rejected tuple the explanation contains a
+// concrete counterexample exchange-repair; a tuple that is not even a
+// candidate (no support in the quasi-solution, or constants the instance
+// never mentions) yields the "no-support" verdict. Accepts the same
+// options as Answer.
+func (e *Exchange) Why(q *Query, args []string, opts ...Option) (*Explanation, error) {
+	if len(args) != q.Arity() {
+		return nil, fmt.Errorf("repro: query %s has arity %d, got %d arguments", q.Name(), q.Arity(), len(args))
+	}
+	tuple := make([]symtab.Value, len(args))
+	for i, s := range args {
+		v, ok := e.sys.w.U.Lookup(s)
+		if !ok {
+			// The constant is foreign to the instance: the tuple cannot be a
+			// candidate. Mirror the renderer's no-support wording.
+			return &Explanation{
+				Query:   q.Name(),
+				Tuple:   append([]string(nil), args...),
+				Verdict: string(explain.NoSupport),
+				Text: fmt.Sprintf("%s(%s): %s — no support in the quasi-solution; not a candidate answer\n",
+					q.Name(), strings.Join(args, ", "), explain.NoSupport),
+			}, nil
+		}
+		tuple[i] = v
+	}
+	xe, err := e.ex.ExplainTuple(q.q, tuple, buildOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	out := e.renderExplanation(e.renderer(), xe)
+	return &out, nil
+}

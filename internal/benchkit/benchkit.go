@@ -83,6 +83,9 @@ type Runner struct {
 	// Metrics, when non-nil, aggregates engine telemetry across every
 	// exchange and query the runner executes (see internal/telemetry).
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records a hierarchical span timeline of every
+	// exchange and query the runner executes (see internal/telemetry).
+	Tracer *telemetry.Tracer
 
 	world     *parser.World
 	exchanges map[string]*xr.Exchange
@@ -148,7 +151,7 @@ func (r *Runner) exchange(name string) (*xr.Exchange, error) {
 		return nil, err
 	}
 	r.logf("exchange phase for %s (%d source facts)...", name, in.Len())
-	ex, err := xr.NewExchangeOpts(r.world.M, in, xr.Options{Metrics: r.Metrics})
+	ex, err := xr.NewExchangeOpts(r.world.M, in, xr.Options{Metrics: r.Metrics, Tracer: r.Tracer})
 	if err != nil {
 		return nil, err
 	}
@@ -158,12 +161,12 @@ func (r *Runner) exchange(name string) (*xr.Exchange, error) {
 
 // answer runs one segmentary query with the runner's parallelism.
 func (r *Runner) answer(ex *xr.Exchange, q *logic.UCQ) (*xr.Result, error) {
-	return ex.AnswerOpts(q, xr.Options{Parallelism: r.Parallelism, Metrics: r.Metrics})
+	return ex.AnswerOpts(q, xr.Options{Parallelism: r.Parallelism, Metrics: r.Metrics, Tracer: r.Tracer})
 }
 
 // monoOptions returns the monolithic engine options for this runner.
 func (r *Runner) monoOptions() xr.MonolithicOptions {
-	return xr.MonolithicOptions{Timeout: r.MonoTimeout, Parallelism: r.Parallelism, Metrics: r.Metrics}
+	return xr.MonolithicOptions{Timeout: r.MonoTimeout, Parallelism: r.Parallelism, Metrics: r.Metrics, Tracer: r.Tracer}
 }
 
 func seconds(d time.Duration) string {

@@ -1,0 +1,170 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// LoadReport reads a BenchReport previously written with WriteJSON.
+func LoadReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchkit: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// DiffLine is one compared metric: the baseline and current values and the
+// relative change. Regression marks a time-like metric or work counter that
+// grew beyond the comparison threshold.
+type DiffLine struct {
+	Metric     string
+	Base, Cur  float64
+	DeltaPct   float64
+	Regression bool
+	// Note flags structural differences ("only in baseline", ...).
+	Note string
+}
+
+// ReportDiff is the comparison of two BenchReports; see CompareReports.
+type ReportDiff struct {
+	BaseProfile, CurProfile string
+	ThresholdPct            float64
+	Lines                   []DiffLine
+}
+
+// Regressed reports whether any compared metric exceeded the threshold.
+func (d *ReportDiff) Regressed() bool {
+	for _, l := range d.Lines {
+		if l.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// CompareReports diffs two benchmark reports metric by metric: per-query
+// wall times, the exchange-phase breakdown, and every telemetry counter.
+// A metric regresses when the current value exceeds the baseline by more
+// than thresholdPct percent; only wall times and work counters (solver
+// decisions, conflicts, propagations, chase work) can regress — size-like
+// metrics (answers, facts, clusters) are compared for drift but flagged as
+// notes, not regressions, since a changed count means the workload itself
+// differs.
+func CompareReports(base, cur *BenchReport, thresholdPct float64) *ReportDiff {
+	d := &ReportDiff{BaseProfile: base.Profile, CurProfile: cur.Profile, ThresholdPct: thresholdPct}
+	add := func(metric string, b, c float64, timeLike bool) {
+		l := DiffLine{Metric: metric, Base: b, Cur: c}
+		if b != 0 {
+			l.DeltaPct = 100 * (c - b) / b
+		} else if c != 0 {
+			l.DeltaPct = 100
+		}
+		if timeLike {
+			l.Regression = c > b*(1+thresholdPct/100)
+		} else if b != c {
+			l.Note = "count drift"
+		}
+		d.Lines = append(d.Lines, l)
+	}
+
+	add("exchange/seconds", base.Exchange.Seconds, cur.Exchange.Seconds, true)
+	add("exchange/reduce_seconds", base.Exchange.ReduceSeconds, cur.Exchange.ReduceSeconds, true)
+	add("exchange/chase_seconds", base.Exchange.ChaseSeconds, cur.Exchange.ChaseSeconds, true)
+	add("exchange/envelopes_seconds", base.Exchange.EnvelopesSeconds, cur.Exchange.EnvelopesSeconds, true)
+	add("exchange/chase_rounds", float64(base.Exchange.Breakdown.ChaseRounds), float64(cur.Exchange.Breakdown.ChaseRounds), false)
+	add("exchange/chase_rule_evals", float64(base.Exchange.Breakdown.ChaseRuleEvals), float64(cur.Exchange.Breakdown.ChaseRuleEvals), false)
+	add("exchange/total_facts", float64(base.Exchange.TotalFacts), float64(cur.Exchange.TotalFacts), false)
+	add("exchange/clusters", float64(base.Exchange.Clusters), float64(cur.Exchange.Clusters), false)
+
+	curQ := make(map[string]QueryReport, len(cur.Queries))
+	for _, q := range cur.Queries {
+		curQ[q.Query] = q
+	}
+	seen := make(map[string]bool, len(base.Queries))
+	for _, bq := range base.Queries {
+		seen[bq.Query] = true
+		cq, ok := curQ[bq.Query]
+		if !ok {
+			d.Lines = append(d.Lines, DiffLine{Metric: "query/" + bq.Query, Base: bq.Seconds, Note: "only in baseline"})
+			continue
+		}
+		add("query/"+bq.Query+"/seconds", bq.Seconds, cq.Seconds, true)
+		add("query/"+bq.Query+"/answers", float64(bq.Answers), float64(cq.Answers), false)
+		add("query/"+bq.Query+"/candidates", float64(bq.Candidates), float64(cq.Candidates), false)
+		add("query/"+bq.Query+"/programs", float64(bq.Programs), float64(cq.Programs), false)
+	}
+	for _, q := range cur.Queries {
+		if !seen[q.Query] {
+			d.Lines = append(d.Lines, DiffLine{Metric: "query/" + q.Query, Cur: q.Seconds, Note: "only in current"})
+		}
+	}
+
+	// Telemetry counters: solver/chase work is time-like (more work at equal
+	// answers is a regression); everything else compares as drift.
+	names := make([]string, 0, len(base.Metrics.Counters))
+	for name := range base.Metrics.Counters {
+		names = append(names, name)
+	}
+	for name := range cur.Metrics.Counters {
+		if _, ok := base.Metrics.Counters[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, inBase := base.Metrics.Counters[name]
+		c, inCur := cur.Metrics.Counters[name]
+		switch {
+		case !inBase:
+			d.Lines = append(d.Lines, DiffLine{Metric: "counter/" + name, Cur: float64(c), Note: "only in current"})
+		case !inCur:
+			d.Lines = append(d.Lines, DiffLine{Metric: "counter/" + name, Base: float64(b), Note: "only in baseline"})
+		default:
+			add("counter/"+name, float64(b), float64(c), workCounter(name))
+		}
+	}
+	return d
+}
+
+// workCounter reports whether a telemetry counter measures solver or chase
+// effort (regression-eligible) rather than workload size.
+func workCounter(name string) bool {
+	for _, suffix := range []string{"decisions", "conflicts", "propagations", "restarts", "rule_evals", "triggers", "probes", "candidates_tested", "stability_fails"} {
+		if len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// Render writes the diff as an aligned table, regressions marked with "!".
+func (d *ReportDiff) Render(w io.Writer) {
+	fmt.Fprintf(w, "benchkit compare: baseline profile %s vs current profile %s (threshold %.1f%%)\n",
+		d.BaseProfile, d.CurProfile, d.ThresholdPct)
+	regressions := 0
+	for _, l := range d.Lines {
+		mark := " "
+		if l.Regression {
+			mark = "!"
+			regressions++
+		}
+		note := ""
+		if l.Note != "" {
+			note = "  (" + l.Note + ")"
+		}
+		fmt.Fprintf(w, "%s %-48s %14.6g %14.6g %+8.1f%%%s\n", mark, l.Metric, l.Base, l.Cur, l.DeltaPct, note)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "REGRESSION: %d metric(s) exceeded the %.1f%% threshold\n", regressions, d.ThresholdPct)
+	} else {
+		fmt.Fprintf(w, "ok: no metric exceeded the %.1f%% threshold\n", d.ThresholdPct)
+	}
+}

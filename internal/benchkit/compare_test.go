@@ -1,0 +1,161 @@
+package benchkit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func sampleReport() *BenchReport {
+	return &BenchReport{
+		Profile: "S3",
+		Exchange: ExchangeReport{
+			Seconds:      1.0,
+			ChaseSeconds: 0.6,
+			TotalFacts:   500,
+			Clusters:     3,
+		},
+		Queries: []QueryReport{
+			{Query: "ep1", Answers: 4, Candidates: 5, Programs: 1, Seconds: 0.10},
+			{Query: "ep2", Answers: 7, Candidates: 9, Programs: 2, Seconds: 0.20},
+		},
+		Metrics: telemetry.Snapshot{Counters: map[string]int64{
+			"xr_sat_decisions": 1000,
+			"xr_cache_hits":    12,
+		}},
+	}
+}
+
+func TestCompareReportsNoRegression(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	d := CompareReports(base, cur, 10)
+	if d.Regressed() {
+		t.Fatal("identical reports flagged as regressed")
+	}
+	var b strings.Builder
+	d.Render(&b)
+	if !strings.Contains(b.String(), "ok: no metric exceeded") {
+		t.Fatalf("render lacks the ok line:\n%s", b.String())
+	}
+}
+
+func TestCompareReportsRegression(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Queries[1].Seconds = 0.5 // +150% on ep2
+	d := CompareReports(base, cur, 10)
+	if !d.Regressed() {
+		t.Fatal("a +150% query wall time did not regress at a 10% threshold")
+	}
+	var hit bool
+	for _, l := range d.Lines {
+		if l.Metric == "query/ep2/seconds" {
+			hit = l.Regression
+		}
+	}
+	if !hit {
+		t.Fatal("the regressed metric is not the one flagged")
+	}
+	var b strings.Builder
+	d.Render(&b)
+	if !strings.Contains(b.String(), "REGRESSION") {
+		t.Fatalf("render lacks the REGRESSION line:\n%s", b.String())
+	}
+	// The same delta passes under a generous threshold.
+	if CompareReports(base, cur, 200).Regressed() {
+		t.Fatal("a +150% delta regressed at a 200% threshold")
+	}
+}
+
+func TestCompareReportsCountDrift(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Queries[0].Answers = 5 // drift, not a regression: the workload changed
+	d := CompareReports(base, cur, 10)
+	if d.Regressed() {
+		t.Fatal("an answer-count drift was flagged as a regression")
+	}
+	var noted bool
+	for _, l := range d.Lines {
+		if l.Metric == "query/ep1/answers" && l.Note == "count drift" {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatal("answer-count drift not noted")
+	}
+}
+
+func TestCompareReportsWorkCounters(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Metrics.Counters["xr_sat_decisions"] = 5000 // 5x solver effort
+	cur.Metrics.Counters["xr_new_counter"] = 1
+	delete(cur.Metrics.Counters, "xr_cache_hits")
+	d := CompareReports(base, cur, 50)
+	if !d.Regressed() {
+		t.Fatal("a 5x decisions counter did not regress")
+	}
+	var onlyBase, onlyCur bool
+	for _, l := range d.Lines {
+		switch l.Metric {
+		case "counter/xr_cache_hits":
+			onlyBase = l.Note == "only in baseline"
+		case "counter/xr_new_counter":
+			onlyCur = l.Note == "only in current"
+		}
+	}
+	if !onlyBase || !onlyCur {
+		t.Fatalf("structural counter differences not noted (base=%v cur=%v)", onlyBase, onlyCur)
+	}
+}
+
+func TestCompareReportsMissingQuery(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Queries = cur.Queries[:1]
+	d := CompareReports(base, cur, 10)
+	var noted bool
+	for _, l := range d.Lines {
+		if l.Metric == "query/ep2" && l.Note == "only in baseline" {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatal("missing query not noted")
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	path := filepath.Join(t.TempDir(), "rep.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profile != rep.Profile || len(got.Queries) != len(rep.Queries) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if d := CompareReports(rep, got, 0.001); d.Regressed() {
+		t.Fatal("a report must not regress against its own round trip")
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing report accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("corrupt report accepted")
+	}
+}

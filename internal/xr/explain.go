@@ -1,0 +1,228 @@
+package xr
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/asp"
+	"repro/internal/chase"
+	"repro/internal/explain"
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/symtab"
+)
+
+// This file computes per-tuple explanations (Options.Explain): why each
+// candidate of a segmentary query was accepted, rejected, or left unknown.
+//
+// The core idea (DESIGN.md §13): a candidate tuple t with query atom qa is
+// XR-certain iff qa holds in every stable model of its signature program,
+// iff the program extended with the constraint ¬qa has no stable model. So
+// one witness solve per candidate decides it and, on rejection, the stable
+// model found IS a counterexample exchange-repair of the signature's
+// sub-world — the deleted "suspect" source facts and the derived facts that
+// disappear with them. For brave (possible) queries the constraint is qa
+// itself and a model is a supporting repair.
+//
+// Determinism: the pass runs on a fresh solver per candidate over a fresh
+// specialization of the signature's frozen base program, with NO
+// learned-clause replay and NO writes into the shared signature cache.
+// Replayed clauses arrive in a parallelism-dependent order and steer the
+// SAT search, which would change *which* witness model is found first;
+// starting every witness solve from the identical clause database makes the
+// witness — and with it the rendered output — byte-identical at any
+// Parallelism and across cache warm/cold states. The price is re-learning
+// maximality clauses per candidate, which is why Explain is opt-in.
+
+// explainGroup explains every candidate of one signature group. A degraded
+// group (out.degraded != nil) yields Unknown explanations without solving;
+// otherwise each candidate gets its own witness solve.
+func (ex *Exchange) explainGroup(ctx context.Context, key string, g *sigGroup, out *groupOutcome, brave bool, qname string) ([]*explain.Explanation, error) {
+	es := make([]*explain.Explanation, 0, len(g.cands))
+	if out.degraded != nil {
+		cause := classifyCause(out.degraded.Err)
+		for _, c := range g.cands {
+			es = append(es, &explain.Explanation{
+				Query:     qname,
+				Tuple:     c.tuple,
+				Verdict:   explain.Unknown,
+				Signature: key,
+				Clusters:  ex.clusterInfos(g.sig),
+				Support:   ex.supportClosure(c),
+				Cause:     cause,
+				Retries:   out.degraded.Retries,
+			})
+		}
+		return es, nil
+	}
+	for _, c := range g.cands {
+		e, err := ex.explainCandidate(ctx, key, g.sig, c, brave, qname)
+		if err != nil {
+			return nil, err
+		}
+		es = append(es, e)
+	}
+	return es, nil
+}
+
+// explainCandidate runs one witness solve for a non-safe candidate.
+func (ex *Exchange) explainCandidate(ctx context.Context, key string, sig []int, c *candidate, brave bool, qname string) (e *explain.Explanation, err error) {
+	defer recoverInternal("explain signature {"+key+"}", &err)
+	sp, _ := ex.sigProgramFor(key)
+	sp.ensure(ex, sig)
+
+	e = &explain.Explanation{
+		Query:     qname,
+		Tuple:     c.tuple,
+		Signature: key,
+		Clusters:  ex.clusterInfos(sig),
+		Support:   ex.supportClosure(c),
+	}
+	spec := sp.enc.specialize()
+	qa, any := spec.addCandidate(c)
+	if !any {
+		e.Verdict = explain.NoSupport
+		return e, nil
+	}
+	solver := asp.NewStableSolver(spec.gp)
+	solver.SetContext(ctx)
+	// Certain path: constrain qa false — a stable model is a repair whose
+	// solution misses the tuple (the reduct fixpoint blocks models that
+	// merely *assign* qa false while it is derivable, so satisfying models
+	// are genuine counterexamples). Brave path: constrain qa true — a
+	// stable model is a repair whose solution contains the tuple.
+	solver.AddTheoryClause([]asp.Lit{solver.AtomLit(qa, brave)})
+	solver.Acceptor = spec.acceptorWithIndex(sp.idx, solver, nil)
+	m := solver.NextStable()
+	if solver.Canceled() {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, cerr
+		}
+		return nil, ErrCanceled
+	}
+	e.ModelsExamined = solver.CandidatesTested
+	if m == nil {
+		if brave {
+			e.Verdict = explain.Impossible
+		} else {
+			e.Verdict = explain.Certain
+		}
+		return e, nil
+	}
+	if brave {
+		e.Verdict = explain.Possible
+	} else {
+		e.Verdict = explain.Rejected
+	}
+	e.Witness = spec.witnessFromModel(m)
+	return e, nil
+}
+
+// safeExplanation explains a candidate accepted without solving: some
+// support lies entirely in the safe part, so every repair derives it.
+func (ex *Exchange) safeExplanation(c *candidate, qname string) *explain.Explanation {
+	return &explain.Explanation{
+		Query:   qname,
+		Tuple:   c.tuple,
+		Verdict: explain.Safe,
+		Support: ex.supportClosure(c),
+	}
+}
+
+// supportClosure returns every fact (source and derived) transitively
+// grounding the candidate's supports in the quasi-solution, sorted.
+func (ex *Exchange) supportClosure(c *candidate) []chase.FactID {
+	seed := make([]chase.FactID, 0, 8)
+	for _, set := range c.supports {
+		seed = append(seed, set...)
+	}
+	closure := ex.Prov.SupportClosure(seed)
+	out := make([]chase.FactID, 0, len(closure))
+	for f := range closure {
+		out = append(out, f)
+	}
+	explain.SortFactIDs(out)
+	return out
+}
+
+// clusterInfos summarizes the clusters of a signature for an explanation.
+func (ex *Exchange) clusterInfos(sig []int) []explain.ClusterInfo {
+	out := make([]explain.ClusterInfo, 0, len(sig))
+	for _, ci := range sig {
+		cl := ex.Clusters[ci]
+		out = append(out, explain.ClusterInfo{
+			ID:            ci,
+			Violations:    len(cl.Violations),
+			EnvelopeSize:  len(cl.SourceEnvelope),
+			InfluenceSize: len(cl.Influence),
+		})
+	}
+	return out
+}
+
+// witnessFromModel extracts the exchange-repair a stable model describes:
+// dropped vs kept suspect sources, and the derived facts of the sub-world
+// absent from the repair's solution. Iteration is over sorted FactIDs so
+// the witness is a pure function of the model.
+func (e *encoder) witnessFromModel(m []bool) *explain.Witness {
+	w := &explain.Witness{}
+	del := append([]chase.FactID(nil), e.deletable...)
+	explain.SortFactIDs(del)
+	for _, f := range del {
+		if m[e.d[f]] {
+			w.DroppedSource = append(w.DroppedSource, f)
+		} else {
+			w.KeptSuspect = append(w.KeptSuspect, f)
+		}
+	}
+	derived := make([]chase.FactID, 0, len(e.r))
+	for f := range e.r {
+		if !e.prov.IsSource(f) {
+			derived = append(derived, f)
+		}
+	}
+	explain.SortFactIDs(derived)
+	for _, f := range derived {
+		if !m[e.r[f]] {
+			w.MissingTarget = append(w.MissingTarget, f)
+		}
+	}
+	return w
+}
+
+// classifyCause maps a degradation error to a stable token for
+// Explanation.Cause (raw error text carries nondeterministic panic stacks).
+func classifyCause(err error) string {
+	switch {
+	case errors.Is(err, ErrBudget):
+		return "budget"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrInternal):
+		return "panic"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// ExplainTuple explains one specific tuple of q under XR-Certain semantics
+// (the -why path): the query runs with explanations on and the matching
+// explanation is returned. A tuple with no support in the quasi-solution —
+// including one that is not an answer to q at all — yields a NoSupport
+// explanation: such a tuple is trivially not XR-certain.
+func (ex *Exchange) ExplainTuple(q *logic.UCQ, tuple []symtab.Value, opts Options) (*explain.Explanation, error) {
+	opts.Explain = true
+	res, err := ex.AnswerOpts(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	want := instance.EncodeTuple(tuple)
+	for _, e := range res.Explanations {
+		if instance.EncodeTuple(e.Tuple) == want {
+			return e, nil
+		}
+	}
+	return &explain.Explanation{Query: q.Name, Tuple: tuple, Verdict: explain.NoSupport}, nil
+}

@@ -30,6 +30,9 @@ type MonolithicOptions struct {
 	// Metrics, when non-nil, aggregates timings and solver counters into
 	// the given registry (see Options.Metrics).
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one span per query program (the
+	// monolithic engine has no signature sub-structure to nest).
+	Tracer *telemetry.Tracer
 	// FaultHook mirrors Options.FaultHook for chaos testing: it is invoked
 	// once per query at the "solve" site with the query name as key. Must
 	// be nil in production use.
@@ -58,8 +61,11 @@ func Monolithic(m *mapping.Mapping, src *instance.Instance, queries []*logic.UCQ
 	defer cancel()
 
 	results := make([]*Result, len(queries))
-	ferr := forEach(ctx, o.workers(), len(queries), func(ctx context.Context, i int) error {
+	ferr := forEachWorker(ctx, o.workers(), len(queries), func(ctx context.Context, worker, i int) error {
 		start := time.Now()
+		span := opts.Tracer.StartSpan(telemetry.NoSpan, "query "+queries[i].Name+" [monolithic]")
+		span.SetLane(worker)
+		defer span.End()
 		qctx := ctx
 		if opts.Timeout > 0 {
 			var qcancel context.CancelFunc

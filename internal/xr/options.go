@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,6 +131,20 @@ type Options struct {
 	// sleep or panic. It exists for chaos testing (see internal/faultkit)
 	// and must be nil in production use.
 	FaultHook func(site, key string) error
+
+	// Explain makes the segmentary engines attach one Explanation per
+	// candidate tuple to the Result (see internal/explain and DESIGN.md
+	// §13). Explanations are computed in a dedicated deterministic pass —
+	// fresh solvers, no learned-clause replay — so the output is
+	// byte-identical at any Parallelism and across signature-cache states.
+	// The pass costs one witness solve per non-safe candidate; leave it off
+	// (the default) on hot paths.
+	Explain bool
+	// Tracer, when non-nil, collects a hierarchical span tree over the call
+	// (exchange sub-phases, the query phase, one child span per signature
+	// program). Export it with Tracer.WriteChromeTrace. A nil tracer costs
+	// one nil check per phase.
+	Tracer *telemetry.Tracer
 }
 
 // Fault-injection site names passed to Options.FaultHook. Kept as plain
@@ -149,6 +164,10 @@ type TraceEvent struct {
 	Engine    string // "segmentary", "segmentary-brave", "monolithic", "repairs"
 	Query     string // query name, when applicable
 	Signature []int  // cluster signature (segmentary engines only)
+	// SignatureKey is the canonical signature key ("2,7"): the same
+	// vocabulary Explanation.Signature and SignatureError.Signature use, so
+	// trace lines and explanations cross-reference directly.
+	SignatureKey string
 
 	Candidates int  // candidate atoms wired into this program
 	Atoms      int  // ground atoms
@@ -222,12 +241,25 @@ func isSentinel(err error) bool {
 }
 
 // forEach runs fn(ctx, i) for every i in [0, n) across at most workers
-// goroutines. New work stops being issued once ctx is done or an fn
-// returns an error; work already completed for other indexes is kept by
-// the caller. All goroutines have exited when forEach returns (no leaks).
-// Genuine errors take precedence over cancellation sentinels; ties break
-// toward the lowest index, keeping the reported error deterministic.
+// goroutines; see forEachWorker for the pool semantics.
 func forEach(ctx context.Context, workers, n int, fn func(context.Context, int) error) error {
+	return forEachWorker(ctx, workers, n, func(ctx context.Context, _, i int) error {
+		return fn(ctx, i)
+	})
+}
+
+// forEachWorker runs fn(ctx, worker, i) for every i in [0, n) across at
+// most workers goroutines; worker is the 1-based pool lane the job runs on
+// (0 on the sequential path), stable for the lifetime of the pool so spans
+// and profiles can attribute work to lanes. Pool goroutines carry a pprof
+// label xr_worker=<lane>, so goroutine profiles group by lane.
+//
+// New work stops being issued once ctx is done or an fn returns an error;
+// work already completed for other indexes is kept by the caller. All
+// goroutines have exited when forEachWorker returns (no leaks). Genuine
+// errors take precedence over cancellation sentinels; ties break toward
+// the lowest index, keeping the reported error deterministic.
+func forEachWorker(ctx context.Context, workers, n int, fn func(context.Context, int, int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -240,7 +272,7 @@ func forEach(ctx context.Context, workers, n int, fn func(context.Context, int) 
 			if ctx.Err() != nil {
 				break
 			}
-			if errs[i] = fn(ctx, i); errs[i] != nil {
+			if errs[i] = fn(ctx, 0, i); errs[i] != nil {
 				break
 			}
 		}
@@ -251,22 +283,24 @@ func forEach(ctx context.Context, workers, n int, fn func(context.Context, int) 
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 1; w <= workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n || wctx.Err() != nil {
-					return
+			pprof.Do(wctx, pprof.Labels("xr_worker", itoa(w)), func(ctx context.Context) {
+				for {
+					i := int(next.Add(1))
+					if i >= n || ctx.Err() != nil {
+						return
+					}
+					if err := fn(ctx, w, i); err != nil {
+						errs[i] = err
+						cancel() // stop issuing work; siblings drain promptly
+						return
+					}
 				}
-				if err := fn(wctx, i); err != nil {
-					errs[i] = err
-					cancel() // stop issuing work; siblings drain promptly
-					return
-				}
-			}
-		}()
+			})
+		}(w)
 	}
 	wg.Wait()
 	return poolError(ctx, errs)

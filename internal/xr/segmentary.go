@@ -12,11 +12,13 @@ import (
 	"repro/internal/asp"
 	"repro/internal/chase"
 	"repro/internal/cq"
+	"repro/internal/explain"
 	"repro/internal/gavreduce"
 	"repro/internal/instance"
 	"repro/internal/logic"
 	"repro/internal/mapping"
 	"repro/internal/symtab"
+	"repro/internal/telemetry"
 )
 
 // Cluster is a violation cluster (Definition 8, approximated per
@@ -225,6 +227,23 @@ func NewExchangeOpts(m *mapping.Mapping, src *instance.Instance, opts Options) (
 	}
 	ex.mt = newMeters(opts.Metrics)
 	ex.mt.recordExchange(ex.Stats)
+	if opts.Tracer != nil {
+		// The exchange phase is not tracer-aware internally; synthesize its
+		// span tree from the measured boundaries. The chase's tgd fixpoint
+		// and violation sweep run sequentially in that order, so their
+		// sub-spans are laid back-to-back from the chase start.
+		t := opts.Tracer
+		exSpan := t.AddSpan(telemetry.NoSpan, "exchange", 0, start, end.Sub(start),
+			telemetry.SpanArg{Key: "clusters", Value: itoa(len(ex.Clusters))},
+			telemetry.SpanArg{Key: "facts", Value: itoa(prov.NumFacts())},
+			telemetry.SpanArg{Key: "violations", Value: itoa(len(prov.Violations))})
+		t.AddSpan(exSpan, "reduce", 0, start, afterReduce.Sub(start))
+		chaseSpan := t.AddSpan(exSpan, "chase", 0, afterReduce, afterChase.Sub(afterReduce),
+			telemetry.SpanArg{Key: "rounds", Value: itoa(cst.Rounds)})
+		t.AddSpan(chaseSpan, "chase/tgds", 0, afterReduce, cst.TgdDuration)
+		t.AddSpan(chaseSpan, "chase/violations", 0, afterReduce.Add(cst.TgdDuration), cst.ViolationDuration)
+		t.AddSpan(exSpan, "envelopes", 0, afterChase, end.Sub(afterChase))
+	}
 	return ex, nil
 }
 
@@ -298,6 +317,7 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 	if brave {
 		engine = "segmentary-brave"
 	}
+	qspan := opts.Tracer.StartSpan(telemetry.NoSpan, "query "+q.Name+" ["+engine+"]")
 	res := &Result{Query: q, Answers: cq.NewAnswerSet()}
 	if opts.Partial {
 		res.Unknown = cq.NewAnswerSet()
@@ -306,6 +326,9 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 		res.Stats.Duration = time.Since(start)
 		mt.recordQuery(engine, res.Stats)
 		mt.recordSigcacheSize(ex)
+		qspan.ArgInt("candidates", int64(res.Stats.Candidates))
+		qspan.ArgInt("programs", int64(res.Stats.Programs))
+		qspan.End()
 	}()
 
 	if len(rq.Clauses) == 0 {
@@ -334,12 +357,29 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 	}
 	sort.Strings(keys)
 
-	// Solve one program per signature, fanning out across the pool.
+	// Solve one program per signature, fanning out across the pool. With
+	// Options.Explain, each worker also runs the deterministic explanation
+	// pass for its group right after deciding it (results are slotted by
+	// group index, so parallel order never shows).
 	outcomes := make([]*groupOutcome, len(keys))
-	ferr := forEach(ctx, opts.workers(), len(keys), func(ctx context.Context, i int) error {
-		out, err := ex.solveSig(ctx, keys[i], groups[keys[i]], brave, &opts, mt, q.Name)
+	var groupExpl [][]*explain.Explanation
+	if opts.Explain {
+		groupExpl = make([][]*explain.Explanation, len(keys))
+	}
+	ferr := forEachWorker(ctx, opts.workers(), len(keys), func(ctx context.Context, worker, i int) error {
+		out, err := ex.solveSig(ctx, keys[i], groups[keys[i]], brave, &opts, mt, q.Name, qspan.ID(), worker)
 		if err != nil {
 			return err
+		}
+		if opts.Explain {
+			espan := opts.Tracer.StartSpan(qspan.ID(), "explain {"+keys[i]+"}")
+			espan.SetLane(worker)
+			es, err := ex.explainGroup(ctx, keys[i], groups[keys[i]], out, brave, q.Name)
+			espan.End()
+			if err != nil {
+				return err
+			}
+			groupExpl[i] = es
 		}
 		outcomes[i] = out
 		return nil
@@ -369,6 +409,24 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 			res.Stats.CacheHits++
 		}
 	}
+	if opts.Explain {
+		// Explanations follow candidate collection order (deterministic):
+		// candidates outside every group were accepted as safe.
+		solved := make(map[*candidate]*explain.Explanation, len(cands))
+		for i, key := range keys {
+			for j, c := range groups[key].cands {
+				solved[c] = groupExpl[i][j]
+			}
+		}
+		res.Explanations = make([]*explain.Explanation, 0, len(cands))
+		for _, c := range cands {
+			if e, ok := solved[c]; ok {
+				res.Explanations = append(res.Explanations, e)
+			} else {
+				res.Explanations = append(res.Explanations, ex.safeExplanation(c, q.Name))
+			}
+		}
+	}
 	mt.recordDegradation(res.Stats.DegradedSignatures)
 	return res, nil
 }
@@ -395,8 +453,8 @@ type groupOutcome struct {
 // and then degrade the group to unknown (Options.Partial), or fail the
 // query (strict mode). A parent-context cancellation is never degradable —
 // the whole query is ending — and always propagates.
-func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, mt *meters, qname string) (*groupOutcome, error) {
-	out, err := ex.solveSigAttempt(ctx, key, g, brave, opts, mt, qname, 1)
+func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, mt *meters, qname string, parent telemetry.SpanID, lane int) (*groupOutcome, error) {
+	out, err := ex.solveSigAttempt(ctx, key, g, brave, opts, mt, qname, parent, lane, 1)
 	if err == nil {
 		return out, nil
 	}
@@ -407,7 +465,7 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 	if opts.Partial && retryableSigErr(err) {
 		retries = 1
 		mt.recordRetry()
-		out, err = ex.solveSigAttempt(ctx, key, g, brave, opts, mt, qname, 2)
+		out, err = ex.solveSigAttempt(ctx, key, g, brave, opts, mt, qname, parent, lane, 2)
 		if err == nil {
 			out.retries = retries
 			return out, nil
@@ -442,9 +500,16 @@ func retryableSigErr(err error) bool {
 // reasoning on a fresh solver under the per-signature budget scaled by
 // scale. Panics are converted to *InternalError (the worker pool must
 // never crash the process).
-func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, mt *meters, qname string, scale int64) (out *groupOutcome, err error) {
+func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, mt *meters, qname string, parent telemetry.SpanID, lane int, scale int64) (out *groupOutcome, err error) {
 	defer recoverInternal("segmentary signature {"+key+"}", &err)
 	start := time.Now()
+	span := opts.Tracer.StartSpan(parent, "signature {"+key+"}")
+	span.SetLane(lane)
+	span.Arg("signature", key)
+	if scale > 1 {
+		span.ArgInt("attempt", scale)
+	}
+	defer span.End()
 	if opts.SignatureTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.SignatureTimeout*time.Duration(scale))
@@ -532,6 +597,14 @@ func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup
 			out.tuples = append(out.tuples, c.tuple)
 		}
 	}
+	span.ArgInt("candidates", int64(len(atoms)))
+	if hit {
+		span.Arg("cache", "hit")
+	} else {
+		span.Arg("cache", "miss")
+	}
+	span.ArgInt("decisions", solver.SatDecisions())
+	span.ArgInt("conflicts", solver.SatConflicts())
 	if opts.Trace != nil || mt != nil {
 		engine := "segmentary"
 		if brave {
@@ -541,6 +614,7 @@ func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup
 			Engine:           engine,
 			Query:            qname,
 			Signature:        g.sig,
+			SignatureKey:     key,
 			Candidates:       len(atoms),
 			Atoms:            out.atoms,
 			Rules:            out.rules,

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/cq"
+	"repro/internal/explain"
 	"repro/internal/gavreduce"
 	"repro/internal/instance"
 	"repro/internal/logic"
@@ -43,7 +44,11 @@ type Result struct {
 	// in canonical signature-key order (deterministic at any Parallelism
 	// when degradation is driven by MaxDecisions/MaxConflicts).
 	Degraded []SignatureError
-	Stats    QueryStats
+	// Explanations holds one entry per candidate tuple, in candidate
+	// collection order, when the query ran with Options.Explain (segmentary
+	// engines only; nil otherwise). See internal/explain.
+	Explanations []*explain.Explanation
+	Stats        QueryStats
 	// Err is ErrTimeout when the query exceeded its solving budget; the
 	// Answers are then a lower bound (possibly empty).
 	Err error

@@ -123,6 +123,37 @@ func WithSolverTrace(f func(TraceEvent)) Option {
 	return func(o *xr.Options) { o.Trace = f }
 }
 
+// WithExplanations makes Exchange.Answer / Possible attach one rendered
+// Explanation per candidate tuple to the Answers (segmentary engine only):
+// support closures and touched clusters for accepted tuples, a concrete
+// counterexample exchange-repair for rejected ones, and the degradation
+// cause for unknowns. Explanation output is byte-identical across runs,
+// parallelism levels, and signature-cache states. The explanation pass
+// costs one extra witness solve per non-safe candidate, so leave it off
+// (the default) on hot paths; Exchange.Why explains a single tuple.
+func WithExplanations(on bool) Option {
+	return func(o *xr.Options) { o.Explain = on }
+}
+
+// Tracer collects a hierarchical execution-trace span tree: exchange
+// sub-phases (reduce, chase tgds/violations, envelopes), the query phase,
+// and one child span per signature program, each attributed to the worker
+// lane it ran on. Export the tree with WriteChromeTrace — the JSON loads
+// in Chrome's about:tracing and in Perfetto. Safe for concurrent use; a
+// nil *Tracer is a valid disabled tracer.
+type Tracer = telemetry.Tracer
+
+// NewTracer returns an empty Tracer whose epoch is "now".
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// WithTracer attaches a Tracer to the call: NewExchange records the
+// exchange-phase breakdown, Answer/Possible record the query phase with
+// per-signature child spans, and MonolithicAnswers records per-query
+// spans. The same tracer may be shared across calls to build one timeline.
+func WithTracer(t *Tracer) Option {
+	return func(o *xr.Options) { o.Tracer = t }
+}
+
 // Metrics is a registry of named counters, gauges, and latency histograms
 // that the engines aggregate into when attached with WithMetrics. It is
 // safe for concurrent use; counter totals are deterministic at any

@@ -125,6 +125,10 @@ type Answers struct {
 	// timeout exhausted after retry, or a contained panic), in canonical
 	// signature-key order. Empty on a complete run.
 	Degraded []SignatureError
+	// Explanations holds one rendered explanation per candidate tuple, in
+	// candidate order, when the query ran with WithExplanations(true)
+	// (segmentary engine only). Empty otherwise.
+	Explanations []Explanation
 	// Stats carries per-query measurements (candidates, programs solved,
 	// duration); see the xr package for field meanings.
 	Candidates     int
@@ -223,7 +227,9 @@ func (e *Exchange) Answer(q *Query, opts ...Option) (*Answers, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.sys.answersOf(res), nil
+	a := e.sys.answersOf(res)
+	e.attachExplanations(a, res)
+	return a, nil
 }
 
 // Possible computes the XR-Possible answers of q: the tuples holding in at
@@ -234,7 +240,9 @@ func (e *Exchange) Possible(q *Query, opts ...Option) (*Answers, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.sys.answersOf(res), nil
+	a := e.sys.answersOf(res)
+	e.attachExplanations(a, res)
+	return a, nil
 }
 
 // Repairs enumerates up to limit source repairs (0 = all) using the
@@ -272,6 +280,7 @@ func (s *System) MonolithicAnswers(i *Instance, queries []*Query, opts ...Option
 		Parallelism: o.Parallelism,
 		Trace:       o.Trace,
 		Metrics:     o.Metrics,
+		Tracer:      o.Tracer,
 	})
 	if err != nil {
 		return nil, nil, err
