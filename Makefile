@@ -2,7 +2,7 @@
 # The parallel segmentary query phase and the signature-program cache are
 # exercised concurrently by the tests, so -race is part of the gate.
 # check also builds every command so CLI-only breakage cannot slip past.
-.PHONY: check build test bench bench-smoke bench-diff lint fuzz fuzz-smoke chaos
+.PHONY: check build test bench bench-smoke bench-diff lint fuzz fuzz-smoke chaos serve-smoke
 
 check: fuzz-smoke
 	go build ./cmd/...
@@ -43,6 +43,14 @@ fuzz:
 fuzz-smoke:
 	go test -fuzz=FuzzParse -fuzztime=5s ./internal/asp/
 	go test -fuzz=FuzzGround -fuzztime=5s ./internal/asp/
+
+# serve-smoke boots the xrserved daemon on an ephemeral port, loads two
+# tricolor scenarios concurrently, queries both end-to-end (asserting the
+# exact answer bodies), exercises budget degradation with ?-marked
+# unknowns over both framings, and checks graceful SIGTERM drain.
+# Requires curl and jq.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # chaos replays the fault-injection suite (budgets, timeouts, panics,
 # cache corruption) under the race detector at high parallelism.

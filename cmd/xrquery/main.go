@@ -94,7 +94,20 @@ func main() {
 	}
 }
 
-// queryOptions translates the config into per-call options.
+// exchangeOptions translates the config into exchange-scope options
+// (NewExchange accepts only WithMetrics / WithTracer).
+func (c config) exchangeOptions() []repro.Option {
+	var opts []repro.Option
+	if c.metrics != nil {
+		opts = append(opts, repro.WithMetrics(c.metrics))
+	}
+	if c.tracer != nil {
+		opts = append(opts, repro.WithTracer(c.tracer))
+	}
+	return opts
+}
+
+// queryOptions translates the config into per-call query-scope options.
 func (c config) queryOptions() []repro.Option {
 	var opts []repro.Option
 	if c.timeout > 0 {
@@ -186,7 +199,7 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) (degraded bool,
 	opts := cfg.queryOptions()
 	switch cfg.engine {
 	case "seg":
-		ex, err := sys.NewExchange(in, opts...)
+		ex, err := sys.NewExchange(in, cfg.exchangeOptions()...)
 		if err != nil {
 			return false, err
 		}

@@ -1,0 +1,125 @@
+// Command xrserved is the multi-tenant XR query daemon: it hosts many
+// named exchanges (scenarios) in one process and serves XR-Certain /
+// XR-Possible queries over HTTP, sharing warm signature-program caches
+// across requests.
+//
+// Usage:
+//
+//	xrserved [-addr :8080] [flags]
+//
+// Lifecycle endpoints (see DESIGN.md §14 and README.md for bodies):
+//
+//	POST   /v1/scenarios              load a scenario (mapping + facts [+ queries])
+//	GET    /v1/scenarios              list loaded scenarios
+//	GET    /v1/scenarios/{name}       describe one scenario
+//	DELETE /v1/scenarios/{name}       unload a scenario
+//	POST   /v1/scenarios/{name}/query run a query (buffered JSON or NDJSON stream)
+//	GET    /v1/scenarios/{name}/explain?query=Q[&tuple=a,b]
+//	GET    /healthz                   liveness + drain state
+//	GET    /metrics                   Prometheus exposition (also /metrics.json, /debug/pprof/)
+//
+// On SIGINT/SIGTERM the daemon stops admitting requests (503), lets
+// in-flight queries finish (bounded by -drain-timeout), then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		maxQueries  = flag.Int("max-queries", 0, "max concurrent queries across all tenants (0 = 2x GOMAXPROCS)")
+		lanes       = flag.Int("lanes", 0, "total solver lanes shared across tenants (0 = GOMAXPROCS)")
+		queryLanes  = flag.Int("query-lanes", 0, "max solver lanes one query may lease (0 = all)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "hard cap on requested per-query timeouts")
+		sigTimeout  = flag.Duration("signature-timeout", 0, "default per-signature solve timeout (0 = none)")
+		decisions   = flag.Int64("max-decisions", 0, "default per-signature decision budget (0 = unlimited)")
+		conflicts   = flag.Int64("max-conflicts", 0, "default per-signature conflict budget (0 = unlimited)")
+		maxTenants  = flag.Int("max-scenarios", 64, "max loaded scenarios")
+		maxBody     = flag.Int64("max-body-bytes", 16<<20, "max request body size in bytes")
+		drainWindow = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight queries on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "xrserved: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	log.SetPrefix("xrserved: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	srv := server.New(server.Config{
+		MaxConcurrentQueries:    *maxQueries,
+		TotalLanes:              *lanes,
+		PerQueryLanes:           *queryLanes,
+		DefaultTimeout:          *timeout,
+		MaxTimeout:              *maxTimeout,
+		DefaultSignatureTimeout: *sigTimeout,
+		DefaultMaxDecisions:     *decisions,
+		DefaultMaxConflicts:     *conflicts,
+		MaxScenarios:            *maxTenants,
+		MaxBodyBytes:            *maxBody,
+		Metrics:                 repro.NewMetrics(),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Written after the listener is live: a script that waits for this
+		// file can connect immediately.
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("write -addr-file: %v", err)
+		}
+	}
+	log.Printf("listening on %s", bound)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %s; draining (up to %s)", sig, *drainWindow)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWindow)
+		defer cancel()
+		// Drain first: new requests get 503 while in-flight queries finish,
+		// so Shutdown below closes an already-quiescent server.
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("drain: %v (forcing shutdown)", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -17,24 +17,27 @@ import (
 // Signature uses the same key vocabulary as TraceEvent.SignatureKey and
 // SignatureError.Signature, so explanations cross-reference -trace output
 // directly. See DESIGN.md §13 for the witness-extraction argument.
+//
+// Explanation is part of the JSON wire format served by cmd/xrserved: the
+// snake_case field names are a compatibility contract (see DESIGN.md §14).
 type Explanation struct {
-	Query string
-	Tuple []string
+	Query string   `json:"query"`
+	Tuple []string `json:"tuple"`
 	// Verdict is one of "safe", "certain", "rejected", "possible",
 	// "impossible", "unknown", "no-support".
-	Verdict string
+	Verdict string `json:"verdict"`
 	// Signature is the canonical cluster-signature key ("2,7"); empty for
 	// tuples that never reached a signature program.
-	Signature string
+	Signature string `json:"signature,omitempty"`
 	// Cause classifies an "unknown" verdict: "budget", "timeout", "panic",
 	// "canceled", or "error". Empty otherwise.
-	Cause string
+	Cause string `json:"cause,omitempty"`
 	// Retries counts budget-doubling retries before the signature degraded.
-	Retries int
+	Retries int `json:"retries,omitempty"`
 	// Text is the rendered explanation, including the counterexample
 	// exchange-repair for rejected tuples (sources dropped, suspect facts
 	// kept, target facts lost).
-	Text string
+	Text string `json:"text"`
 }
 
 // renderer builds the exchange's deterministic explanation renderer over
@@ -104,7 +107,11 @@ func (e *Exchange) Why(q *Query, args []string, opts ...Option) (*Explanation, e
 		}
 		tuple[i] = v
 	}
-	xe, err := e.ex.ExplainTuple(q.q, tuple, buildOptions(opts))
+	o, err := buildOptions("Why", scopeQuery, opts)
+	if err != nil {
+		return nil, err
+	}
+	xe, err := e.ex.ExplainTuple(q.q, tuple, o)
 	if err != nil {
 		return nil, err
 	}

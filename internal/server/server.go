@@ -1,0 +1,576 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/telemetry"
+	"repro/internal/xr"
+)
+
+// Config tunes one Server. The zero value is usable: every field has a
+// production-safe default applied by New.
+type Config struct {
+	// MaxConcurrentQueries is the admission semaphore: requests beyond it
+	// receive 429 with Retry-After instead of queueing unboundedly.
+	// Default 2×GOMAXPROCS.
+	MaxConcurrentQueries int
+	// TotalLanes is the process-wide solver-lane pool shared by all
+	// tenants (see lanePool). Default GOMAXPROCS.
+	TotalLanes int
+	// PerQueryLanes caps the lanes a single query may lease.
+	// Default TotalLanes.
+	PerQueryLanes int
+
+	// DefaultTimeout bounds each query unless the request asks for less;
+	// requests can never exceed MaxTimeout. Defaults 30s / 5m. These are
+	// the server-side budgets that keep a hostile query from wedging a
+	// tenant: combined with Partial-by-default, an expensive query
+	// degrades to a sound lower bound instead of holding a lane forever.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DefaultSignatureTimeout, DefaultMaxDecisions, and DefaultMaxConflicts
+	// are per-signature budgets applied when the request does not set its
+	// own (zero leaves the dimension unlimited by default).
+	DefaultSignatureTimeout time.Duration
+	DefaultMaxDecisions     int64
+	DefaultMaxConflicts     int64
+
+	// MaxScenarios caps the tenant registry (default 64).
+	MaxScenarios int
+	// MaxBodyBytes caps request bodies (default 16 MiB — fact files are
+	// the large case).
+	MaxBodyBytes int64
+
+	// Metrics receives engine counters and the per-tenant server series
+	// (xr_server_queries_total{scenario="..."} etc.), and is exposed at
+	// /metrics on the same mux. Defaults to a fresh registry.
+	Metrics *repro.Metrics
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	procs := runtime.GOMAXPROCS(0)
+	if c.MaxConcurrentQueries <= 0 {
+		c.MaxConcurrentQueries = 2 * procs
+	}
+	if c.TotalLanes <= 0 {
+		c.TotalLanes = procs
+	}
+	if c.PerQueryLanes <= 0 {
+		c.PerQueryLanes = c.TotalLanes
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxScenarios <= 0 {
+		c.MaxScenarios = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = repro.NewMetrics()
+	}
+	return c
+}
+
+// Server is the multi-tenant query daemon: a scenario registry, the
+// process-wide admission controls, and the HTTP API. Create with New,
+// mount Handler, stop with Drain.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	admit chan struct{}
+	lanes *lanePool
+	group *drainGroup
+	mux   *http.ServeMux
+}
+
+// New builds a Server from cfg (zero-value fields get defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.MaxScenarios),
+		admit: make(chan struct{}, cfg.MaxConcurrentQueries),
+		lanes: newLanePool(cfg.TotalLanes),
+		group: newDrainGroup(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scenarios", s.handleLoad)
+	mux.HandleFunc("GET /v1/scenarios", s.handleList)
+	mux.HandleFunc("GET /v1/scenarios/{name}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/scenarios/{name}", s.handleUnload)
+	mux.HandleFunc("POST /v1/scenarios/{name}/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/scenarios/{name}/explain", s.handleExplain)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Metrics/pprof exposition shares the mux: the daemon is its own
+	// observability endpoint (/metrics, /metrics.json, /debug/vars,
+	// /debug/pprof/).
+	obs := telemetry.Handler(s.cfg.Metrics)
+	mux.Handle("/metrics", obs)
+	mux.Handle("/metrics.json", obs)
+	mux.Handle("/debug/", obs)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the tenant table (used by cmd/xrserved for preloading).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *repro.Metrics { return s.cfg.Metrics }
+
+// Drain gracefully stops the daemon: new requests are refused with 503,
+// in-flight requests (queries and loads) run to completion, and Drain
+// returns once the server is quiescent or ctx expires. Call before
+// closing the listener so clients see clean completions, not resets.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.group.Drain(ctx)
+}
+
+// ---------------------------------------------------------------------------
+// Wire types (request/response bodies). Field names are the compatibility
+// contract; see DESIGN.md §14.
+
+// LoadRequest is the body of POST /v1/scenarios.
+type LoadRequest struct {
+	Name    string `json:"name"`
+	Mapping string `json:"mapping"`
+	Facts   string `json:"facts"`
+	// Queries optionally preloads named queries, addressable by name in
+	// query and explain requests (and parsed once, at load time).
+	Queries string `json:"queries,omitempty"`
+}
+
+// ScenarioInfo describes one loaded tenant.
+type ScenarioInfo struct {
+	Name         string           `json:"name"`
+	SourceFacts  int              `json:"source_facts"`
+	Consistent   bool             `json:"consistent"`
+	Violations   int              `json:"violations"`
+	Clusters     int              `json:"clusters"`
+	SuspectFacts int              `json:"suspect_facts"`
+	Queries      []string         `json:"queries"`
+	Stats        xr.ExchangeStats `json:"stats"`
+}
+
+// ListResponse is the body of GET /v1/scenarios.
+type ListResponse struct {
+	Scenarios []ScenarioInfo `json:"scenarios"`
+}
+
+// QueryRequest is the body of POST /v1/scenarios/{name}/query. Exactly one
+// of Name (a preloaded query) or Query (inline text defining one query)
+// must be set. Budgets left zero inherit the server defaults; the request
+// timeout is additionally capped at the server maximum.
+type QueryRequest struct {
+	Name  string `json:"name,omitempty"`
+	Query string `json:"query,omitempty"`
+	// Mode is "certain" (default) or "possible".
+	Mode               string `json:"mode,omitempty"`
+	TimeoutMS          int64  `json:"timeout_ms,omitempty"`
+	SignatureTimeoutMS int64  `json:"signature_timeout_ms,omitempty"`
+	MaxDecisions       int64  `json:"max_decisions,omitempty"`
+	MaxConflicts       int64  `json:"max_conflicts,omitempty"`
+	// Partial selects sound partial answers on budget exhaustion. It
+	// defaults to true: a hostile or overweight query degrades (HTTP 200,
+	// degraded signatures reported, unknowns ?-marked) rather than
+	// erroring. Set explicitly to false for exact-or-error semantics.
+	Partial *bool `json:"partial,omitempty"`
+	Explain bool  `json:"explain,omitempty"`
+	// Stream selects NDJSON framing (also selectable with
+	// Accept: application/x-ndjson).
+	Stream bool `json:"stream,omitempty"`
+}
+
+// QueryResponse is the buffered-JSON body of a query call.
+type QueryResponse struct {
+	Scenario string         `json:"scenario"`
+	Query    string         `json:"query"`
+	Mode     string         `json:"mode"`
+	Partial  bool           `json:"partial"`
+	Answers  *repro.Answers `json:"answers"`
+}
+
+// ExplainResponse is the body of GET /v1/scenarios/{name}/explain.
+type ExplainResponse struct {
+	Scenario    string             `json:"scenario"`
+	Explanation *repro.Explanation `json:"explanation"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status    string `json:"status"` // "ok" or "draining"
+	Scenarios int    `json:"scenarios"`
+	Inflight  int    `json:"inflight"`
+	LanesBusy int    `json:"lanes_busy"`
+	LanesMax  int    `json:"lanes_max"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := HealthResponse{
+		Status:    "ok",
+		Scenarios: s.reg.Len(),
+		Inflight:  s.group.Inflight(),
+		LanesBusy: s.lanes.inUse(),
+		LanesMax:  s.lanes.capacity(),
+	}
+	code := http.StatusOK
+	if s.group.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if !s.group.Enter() {
+		s.writeError(w, http.StatusServiceUnavailable, "", errors.New("server draining"))
+		return
+	}
+	defer s.group.Leave()
+	var req LoadRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	sc, err := s.reg.Load(req.Name, req.Mapping, req.Facts, req.Queries, repro.WithMetrics(s.cfg.Metrics))
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrScenarioExists):
+			s.writeError(w, http.StatusConflict, req.Name, err)
+		case errors.Is(err, ErrRegistryFull):
+			s.writeError(w, http.StatusInsufficientStorage, req.Name, err)
+		default:
+			s.writeError(w, http.StatusBadRequest, req.Name, err)
+		}
+		return
+	}
+	s.cfg.Metrics.Gauge("xr_server_scenarios").Set(int64(s.reg.Len()))
+	s.cfg.Metrics.Counter("xr_server_loads_total").Inc()
+	writeJSON(w, http.StatusCreated, sc.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	scs := s.reg.List()
+	resp := ListResponse{Scenarios: make([]ScenarioInfo, 0, len(scs))}
+	for _, sc := range scs {
+		resp.Scenarios = append(resp.Scenarios, sc.Info())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sc, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, r.PathValue("name"), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sc.Info())
+}
+
+func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Remove(name); err != nil {
+		s.writeError(w, http.StatusNotFound, name, err)
+		return
+	}
+	s.cfg.Metrics.Gauge("xr_server_scenarios").Set(int64(s.reg.Len()))
+	s.cfg.Metrics.Counter("xr_server_unloads_total").Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	scenario := r.PathValue("name")
+	if !s.group.Enter() {
+		s.writeError(w, http.StatusServiceUnavailable, scenario, errors.New("server draining"))
+		return
+	}
+	defer s.group.Leave()
+
+	// Admission: bounded concurrency across all tenants. Saturation is a
+	// normal overload signal, not an error — 429 with Retry-After tells
+	// well-behaved clients to back off.
+	select {
+	case s.admit <- struct{}{}:
+		defer func() { <-s.admit }()
+	default:
+		s.cfg.Metrics.Counter("xr_server_rejected_total").Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, scenario, errors.New("query capacity saturated"))
+		return
+	}
+
+	sc, err := s.reg.Get(scenario)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, scenario, err)
+		return
+	}
+	var req QueryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "certain"
+	}
+	if mode != "certain" && mode != "possible" {
+		s.writeError(w, http.StatusBadRequest, scenario, fmt.Errorf("unknown mode %q (want certain or possible)", req.Mode))
+		return
+	}
+
+	var q *repro.Query
+	switch {
+	case req.Name != "" && req.Query != "":
+		s.writeError(w, http.StatusBadRequest, scenario, errors.New("set either name or query, not both"))
+		return
+	case req.Name != "":
+		var ok bool
+		if q, ok = sc.Query(req.Name); !ok {
+			s.writeError(w, http.StatusNotFound, scenario, fmt.Errorf("%w: no preloaded query %q", ErrBadQuery, req.Name))
+			return
+		}
+	case req.Query != "":
+		if q, err = sc.ParseQuery(req.Query); err != nil {
+			s.writeError(w, http.StatusBadRequest, scenario, err)
+			return
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, scenario, errors.New("missing query: set name or query"))
+		return
+	}
+
+	// Lease solver lanes from the process-wide pool; the request context
+	// bounds the wait so an abandoned request never holds a slot.
+	lanes, release := s.lanes.lease(r.Context(), s.cfg.PerQueryLanes)
+	if release == nil {
+		s.writeError(w, http.StatusServiceUnavailable, scenario, errors.New("canceled while waiting for solver lanes"))
+		return
+	}
+	defer release()
+
+	opts := s.queryOptions(r.Context(), &req, lanes)
+
+	mt := s.cfg.Metrics
+	mt.Counter(telemetry.Labeled("xr_server_queries_total", "scenario", scenario, "mode", mode)).Inc()
+	inflight := mt.Gauge(telemetry.Labeled("xr_server_inflight", "scenario", scenario))
+	inflight.Add(1)
+	defer inflight.Add(-1)
+	span := telemetry.StartSpan(mt.Histogram(telemetry.Labeled("xr_server_query_seconds", "scenario", scenario)))
+	defer span.End()
+
+	var ans *repro.Answers
+	if mode == "possible" {
+		ans, err = sc.Possible(q, opts...)
+	} else {
+		ans, err = sc.Answer(q, opts...)
+	}
+	if err != nil {
+		mt.Counter(telemetry.Labeled("xr_server_query_errors_total", "scenario", scenario)).Inc()
+		switch {
+		case errors.Is(err, repro.ErrTimeout):
+			s.writeError(w, http.StatusGatewayTimeout, scenario, err)
+		case errors.Is(err, repro.ErrCanceled):
+			// The client went away; the status is best-effort.
+			s.writeError(w, http.StatusServiceUnavailable, scenario, err)
+		case errors.Is(err, repro.ErrBudget):
+			// Only reachable with partial=false: the caller asked for
+			// exact-or-error semantics and the budget lost.
+			s.writeError(w, http.StatusUnprocessableEntity, scenario, err)
+		default:
+			s.writeError(w, http.StatusInternalServerError, scenario, err)
+		}
+		return
+	}
+	if ans.Partial() {
+		mt.Counter(telemetry.Labeled("xr_server_degraded_total", "scenario", scenario)).Inc()
+	}
+
+	if req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		streamAnswers(w, scenario, q.Name(), mode, q.Arity(), ans)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Scenario: scenario,
+		Query:    q.Name(),
+		Mode:     mode,
+		Partial:  ans.Partial(),
+		Answers:  ans,
+	})
+}
+
+// queryOptions maps the wire request onto the options API, applying the
+// server-side default budgets.
+func (s *Server) queryOptions(ctx context.Context, req *QueryRequest, lanes int) []repro.Option {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < s.cfg.MaxTimeout {
+			timeout = d
+		} else {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	sigTimeout := s.cfg.DefaultSignatureTimeout
+	if req.SignatureTimeoutMS > 0 {
+		sigTimeout = time.Duration(req.SignatureTimeoutMS) * time.Millisecond
+	}
+	maxDecisions := s.cfg.DefaultMaxDecisions
+	if req.MaxDecisions > 0 {
+		maxDecisions = req.MaxDecisions
+	}
+	maxConflicts := s.cfg.DefaultMaxConflicts
+	if req.MaxConflicts > 0 {
+		maxConflicts = req.MaxConflicts
+	}
+	partial := true
+	if req.Partial != nil {
+		partial = *req.Partial
+	}
+	opts := []repro.Option{
+		repro.WithContext(ctx),
+		repro.WithTimeout(timeout),
+		repro.WithParallelism(lanes),
+		repro.WithPartialResults(partial),
+		repro.WithMetrics(s.cfg.Metrics),
+	}
+	if sigTimeout > 0 {
+		opts = append(opts, repro.WithSignatureTimeout(sigTimeout))
+	}
+	if maxDecisions > 0 || maxConflicts > 0 {
+		opts = append(opts, repro.WithSolveBudget(maxDecisions, maxConflicts))
+	}
+	if req.Explain {
+		opts = append(opts, repro.WithExplanations(true))
+	}
+	return opts
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	scenario := r.PathValue("name")
+	if !s.group.Enter() {
+		s.writeError(w, http.StatusServiceUnavailable, scenario, errors.New("server draining"))
+		return
+	}
+	defer s.group.Leave()
+	select {
+	case s.admit <- struct{}{}:
+		defer func() { <-s.admit }()
+	default:
+		s.cfg.Metrics.Counter("xr_server_rejected_total").Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, scenario, errors.New("query capacity saturated"))
+		return
+	}
+	sc, err := s.reg.Get(scenario)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, scenario, err)
+		return
+	}
+	qname := r.URL.Query().Get("query")
+	if qname == "" {
+		s.writeError(w, http.StatusBadRequest, scenario, errors.New("missing ?query= (a preloaded query name)"))
+		return
+	}
+	q, ok := sc.Query(qname)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, scenario, fmt.Errorf("%w: no preloaded query %q", ErrBadQuery, qname))
+		return
+	}
+	var args []string
+	if t := r.URL.Query().Get("tuple"); t != "" {
+		args = strings.Split(t, ",")
+		for i := range args {
+			args[i] = strings.TrimSpace(args[i])
+		}
+	}
+	lanes, release := s.lanes.lease(r.Context(), s.cfg.PerQueryLanes)
+	if release == nil {
+		s.writeError(w, http.StatusServiceUnavailable, scenario, errors.New("canceled while waiting for solver lanes"))
+		return
+	}
+	defer release()
+	e, err := sc.Why(q, args,
+		repro.WithContext(r.Context()),
+		repro.WithTimeout(s.cfg.DefaultTimeout),
+		repro.WithParallelism(lanes),
+		repro.WithMetrics(s.cfg.Metrics))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, repro.ErrTimeout) {
+			code = http.StatusGatewayTimeout
+		} else if strings.Contains(err.Error(), "arity") {
+			code = http.StatusBadRequest
+		}
+		s.writeError(w, code, scenario, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{Scenario: scenario, Explanation: e})
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing.
+
+// decodeBody decodes a JSON body with the configured size cap; on failure
+// it writes the error response and returns false.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, code, "", fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	// Reject trailing garbage so a concatenated double-body is an error,
+	// not a silent half-read.
+	if dec.More() {
+		s.writeError(w, http.StatusBadRequest, "", errors.New("trailing data after JSON body"))
+		return false
+	}
+	_, _ = io.Copy(io.Discard, body)
+	return true
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, scenario string, err error) {
+	if scenario != "" {
+		s.cfg.Metrics.Counter(telemetry.Labeled("xr_server_http_errors_total", "scenario", scenario)).Inc()
+	} else {
+		s.cfg.Metrics.Counter("xr_server_http_errors_total").Inc()
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -40,15 +40,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	r.mu.Unlock()
 
-	for _, name := range sortedKeys(counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name]); err != nil {
-			return err
-		}
+	if err := writeScalars(w, counters, "counter"); err != nil {
+		return err
 	}
-	for _, name := range sortedKeys(gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[name]); err != nil {
-			return err
-		}
+	if err := writeScalars(w, gauges, "gauge"); err != nil {
+		return err
 	}
 	histNames := make([]string, 0, len(hists))
 	for name := range hists {
@@ -79,6 +75,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
 			name, formatFloat(float64(h.sumNs)/1e9), name, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeScalars renders counters or gauges. Labeled series (see Labeled)
+// are grouped under their base family: series sort by (family, series
+// name) and each family gets exactly one # TYPE line, so
+// `q_total{scenario="a"}` and `q_total{scenario="b"}` share one family
+// header as the exposition format requires.
+func writeScalars(w io.Writer, m map[string]int64, typ string) error {
+	keys := sortedKeys(m)
+	sort.SliceStable(keys, func(i, j int) bool { return baseName(keys[i]) < baseName(keys[j]) })
+	lastFamily := ""
+	for _, name := range keys {
+		if fam := baseName(name); fam != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+				return err
+			}
+			lastFamily = fam
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, m[name]); err != nil {
 			return err
 		}
 	}

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -157,6 +158,75 @@ func (s Span) End() time.Duration {
 	d := time.Since(s.start)
 	s.h.Observe(d)
 	return d
+}
+
+// Labeled builds an instrument name carrying Prometheus-style labels:
+// Labeled("xr_server_queries_total", "scenario", "genome") yields
+// `xr_server_queries_total{scenario="genome"}`. The labeled name is an
+// ordinary registry key — Snapshot sorts it like any other — and
+// WritePrometheus renders it as a labeled series of the base family
+// (one # TYPE line per base name). Pairs are sorted by label key so the
+// same label set always produces the same series name; label values are
+// escaped per the exposition format. Odd trailing keys get an empty value.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		p := pair{k: kv[i]}
+		if i+1 < len(kv) {
+			p.v = kv[i+1]
+		}
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// baseName strips a Labeled name back to its metric family ("a{b="c"}" →
+// "a"); plain names pass through unchanged.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // Registry holds named instruments. Instruments are registered on first

@@ -237,3 +237,64 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("/debug/pprof/ unexpected body:\n%s", body)
 	}
 }
+
+// TestLabeled checks labeled-name construction: sorted label keys for a
+// canonical series name, value escaping, and pass-through without labels.
+func TestLabeled(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kv   []string
+		want string
+	}{
+		{"q_total", nil, "q_total"},
+		{"q_total", []string{"scenario", "genome"}, `q_total{scenario="genome"}`},
+		{"q_total", []string{"b", "2", "a", "1"}, `q_total{a="1",b="2"}`},
+		{"q_total", []string{"scenario", `we"ird\n` + "\n"}, `q_total{scenario="we\"ird\\n\n"}`},
+		{"q_total", []string{"odd"}, `q_total{odd=""}`},
+	} {
+		if got := Labeled(tc.name, tc.kv...); got != tc.want {
+			t.Errorf("Labeled(%q, %v) = %q, want %q", tc.name, tc.kv, got, tc.want)
+		}
+	}
+	// Canonical: the same label set in any order names the same series.
+	a := Labeled("m", "x", "1", "y", "2")
+	b := Labeled("m", "y", "2", "x", "1")
+	if a != b {
+		t.Errorf("label order changed the series name: %q vs %q", a, b)
+	}
+}
+
+// TestWritePrometheusLabeled checks labeled series group under one # TYPE
+// line per metric family, as the exposition format requires.
+func TestWritePrometheusLabeled(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Labeled("xr_server_queries_total", "scenario", "genome")).Add(3)
+	reg.Counter(Labeled("xr_server_queries_total", "scenario", "tricolor")).Add(5)
+	reg.Counter("xr_server_queries_total").Add(8)
+	reg.Gauge(Labeled("xr_server_inflight", "scenario", "genome")).Set(1)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE xr_server_queries_total counter"); n != 1 {
+		t.Errorf("want exactly one TYPE line for the family, got %d:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"xr_server_queries_total 8\n",
+		`xr_server_queries_total{scenario="genome"} 3` + "\n",
+		`xr_server_queries_total{scenario="tricolor"} 5` + "\n",
+		"# TYPE xr_server_inflight gauge\n",
+		`xr_server_inflight{scenario="genome"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	// The unlabeled series must precede its labeled variants (family
+	// grouping puts the TYPE line first, then series in sorted order).
+	if strings.Index(out, "xr_server_queries_total 8") > strings.Index(out, `scenario="genome"`) {
+		t.Errorf("series ordering within family wrong:\n%s", out)
+	}
+}

@@ -2,6 +2,7 @@ package xr
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -79,6 +80,76 @@ func (e *SignatureError) Error() string {
 
 // Unwrap exposes the cause for errors.Is / errors.As.
 func (e *SignatureError) Unwrap() error { return e.Err }
+
+// Cause classifies Err into the wire vocabulary shared with
+// Explanation.Cause: "budget", "timeout", "panic", "canceled", or "error".
+func (e *SignatureError) Cause() string { return classifyCause(e.Err) }
+
+// signatureErrorJSON is the wire form of a SignatureError. The Err field
+// crosses the process boundary as a (cause, message) pair; the cause is the
+// compatibility contract, the message is advisory.
+type signatureErrorJSON struct {
+	Signature string `json:"signature"`
+	Tuples    int    `json:"tuples"`
+	Retries   int    `json:"retries"`
+	Cause     string `json:"cause"`
+	Error     string `json:"error,omitempty"`
+}
+
+// MarshalJSON renders the wire form with stable snake_case field names.
+func (e SignatureError) MarshalJSON() ([]byte, error) {
+	j := signatureErrorJSON{
+		Signature: e.Signature,
+		Tuples:    e.Tuples,
+		Retries:   e.Retries,
+		Cause:     classifyCause(e.Err),
+	}
+	if e.Err != nil {
+		j.Error = e.Err.Error()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON reconstructs the error from its wire form. The cause maps
+// back to the matching sentinel so errors.Is keeps working across a
+// process boundary; the original message is preserved in the error text.
+func (e *SignatureError) UnmarshalJSON(data []byte) error {
+	var j signatureErrorJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	e.Signature = j.Signature
+	e.Tuples = j.Tuples
+	e.Retries = j.Retries
+	e.Err = causeError(j.Cause, j.Error)
+	return nil
+}
+
+// causeError rebuilds an error value from a wire (cause, message) pair.
+func causeError(cause, msg string) error {
+	var sentinel error
+	switch cause {
+	case "budget":
+		sentinel = ErrBudget
+	case "timeout":
+		sentinel = ErrTimeout
+	case "panic":
+		sentinel = ErrInternal
+	case "canceled":
+		sentinel = ErrCanceled
+	case "":
+		return nil
+	default:
+		if msg == "" {
+			return errors.New("xr: remote error")
+		}
+		return errors.New(msg)
+	}
+	if msg == "" || msg == sentinel.Error() {
+		return sentinel
+	}
+	return fmt.Errorf("%s: %w", msg, sentinel)
+}
 
 // Options tunes one query-phase call (Answer, Possible, Repairs,
 // Monolithic). The zero value means: background context, no timeout,
@@ -160,30 +231,33 @@ const (
 // events install Options.Trace; for aggregated totals across calls attach
 // a telemetry registry via Options.Metrics — both are fed from the same
 // instrumentation points.
+//
+// TraceEvent is part of the JSON wire format (snake_case field names are a
+// compatibility contract; durations travel as integer nanoseconds).
 type TraceEvent struct {
-	Engine    string // "segmentary", "segmentary-brave", "monolithic", "repairs"
-	Query     string // query name, when applicable
-	Signature []int  // cluster signature (segmentary engines only)
+	Engine    string `json:"engine"`              // "segmentary", "segmentary-brave", "monolithic", "repairs"
+	Query     string `json:"query,omitempty"`     // query name, when applicable
+	Signature []int  `json:"signature,omitempty"` // cluster signature (segmentary engines only)
 	// SignatureKey is the canonical signature key ("2,7"): the same
 	// vocabulary Explanation.Signature and SignatureError.Signature use, so
 	// trace lines and explanations cross-reference directly.
-	SignatureKey string
+	SignatureKey string `json:"signature_key,omitempty"`
 
-	Candidates int  // candidate atoms wired into this program
-	Atoms      int  // ground atoms
-	Rules      int  // ground rules
-	CacheHit   bool // signature program served from the Exchange cache
+	Candidates int  `json:"candidates"` // candidate atoms wired into this program
+	Atoms      int  `json:"atoms"`      // ground atoms
+	Rules      int  `json:"rules"`      // ground rules
+	CacheHit   bool `json:"cache_hit"`  // signature program served from the Exchange cache
 
-	CandidatesTested int // classical models tested for stability
-	StabilityFails   int
-	LoopsLearned     int
-	TheoryRejects    int // models rejected by the maximality check
-	Conflicts        int64
-	Decisions        int64
-	Propagations     int64
-	Restarts         int64 // SAT search restarts (Luby budget renewals)
+	CandidatesTested int   `json:"candidates_tested"` // classical models tested for stability
+	StabilityFails   int   `json:"stability_fails"`
+	LoopsLearned     int   `json:"loops_learned"`
+	TheoryRejects    int   `json:"theory_rejects"` // models rejected by the maximality check
+	Conflicts        int64 `json:"conflicts"`
+	Decisions        int64 `json:"decisions"`
+	Propagations     int64 `json:"propagations"`
+	Restarts         int64 `json:"restarts"` // SAT search restarts (Luby budget renewals)
 
-	Duration time.Duration
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // workers returns the effective worker count.

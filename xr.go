@@ -114,37 +114,42 @@ func (s *System) HasSolution(i *Instance) bool {
 }
 
 // Answers is a set of answer tuples, rendered as strings.
+//
+// Answers is part of the JSON wire format served by cmd/xrserved: the
+// snake_case field names are a compatibility contract (see DESIGN.md §14),
+// and durations travel as integer nanoseconds. Tuples and Unknown are
+// always non-nil so they marshal as [] rather than null.
 type Answers struct {
-	Tuples [][]string
+	Tuples [][]string `json:"tuples"`
 	// Unknown lists the tuples left undecided when signatures were skipped
 	// under WithPartialResults: each may or may not be an XR-Certain
 	// answer. The true answer set lies between Tuples and Tuples ∪ Unknown.
 	// Empty unless the query degraded.
-	Unknown [][]string
+	Unknown [][]string `json:"unknown"`
 	// Degraded describes each signature group that was skipped (budget or
 	// timeout exhausted after retry, or a contained panic), in canonical
 	// signature-key order. Empty on a complete run.
-	Degraded []SignatureError
+	Degraded []SignatureError `json:"degraded,omitempty"`
 	// Explanations holds one rendered explanation per candidate tuple, in
 	// candidate order, when the query ran with WithExplanations(true)
 	// (segmentary engine only). Empty otherwise.
-	Explanations []Explanation
+	Explanations []Explanation `json:"explanations,omitempty"`
 	// Stats carries per-query measurements (candidates, programs solved,
 	// duration); see the xr package for field meanings.
-	Candidates     int
-	SafeAccepted   int
-	SolverAccepted int
-	Programs       int
+	Candidates     int `json:"candidates"`
+	SafeAccepted   int `json:"safe_accepted"`
+	SolverAccepted int `json:"solver_accepted"`
+	Programs       int `json:"programs"`
 	// CacheHits counts the programs served from the exchange's
 	// signature-program cache (always 0 for the monolithic engine).
-	CacheHits int
+	CacheHits int `json:"cache_hits"`
 	// DegradedSignatures, UnknownTuples, and Retries summarize graceful
 	// degradation: signatures skipped, candidate tuples left undecided,
 	// and budget-doubling retry attempts.
-	DegradedSignatures int
-	UnknownTuples      int
-	Retries            int
-	Duration           time.Duration
+	DegradedSignatures int           `json:"degraded_signatures"`
+	UnknownTuples      int           `json:"unknown_tuples"`
+	Retries            int           `json:"retries"`
+	Duration           time.Duration `json:"duration_ns"`
 }
 
 // Partial reports whether the answers are a (sound) lower bound rather
@@ -153,6 +158,8 @@ func (a *Answers) Partial() bool { return len(a.Degraded) > 0 }
 
 func (s *System) answersOf(res *xr.Result) *Answers {
 	a := &Answers{
+		Tuples:             [][]string{},
+		Unknown:            [][]string{},
 		Degraded:           res.Degraded,
 		Candidates:         res.Stats.Candidates,
 		SafeAccepted:       res.Stats.SafeAccepted,
@@ -191,11 +198,18 @@ type Exchange struct {
 }
 
 // NewExchange runs the exchange phase (polynomial, query-independent).
-// WithMetrics records the phase's Table-4 stats and makes the registry the
-// exchange's default for later Answer/Possible/Repairs calls; the other
-// options have no effect here (the exchange phase is uninterruptible).
+// Only exchange-scope options apply: WithMetrics records the phase's
+// Table-4 stats and makes the registry the exchange's default for later
+// Answer/Possible/Repairs calls, and WithTracer records the exchange-phase
+// breakdown. Passing a query-scope option (the exchange phase is
+// uninterruptible, so there is nothing for them to do) returns an error
+// matching ErrOptionScope.
 func (s *System) NewExchange(i *Instance, opts ...Option) (*Exchange, error) {
-	ex, err := xr.NewExchangeOpts(s.w.M, i.in, buildOptions(opts))
+	o, err := buildOptions("NewExchange", scopeExchange, opts)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := xr.NewExchangeOpts(s.w.M, i.in, o)
 	if err != nil {
 		return nil, err
 	}
@@ -218,12 +232,16 @@ func (e *Exchange) SuspectFacts() int { return e.ex.SuspectSourceFacts() }
 func (e *Exchange) Stats() xr.ExchangeStats { return e.ex.Stats }
 
 // Answer computes the XR-Certain answers of q (segmentary query phase).
-// Options tune the call: WithContext / WithTimeout for cancellation
-// (errors match ErrCanceled / ErrTimeout), WithParallelism to solve
-// signature programs concurrently, WithSolverTrace for diagnostics.
+// Query-scope options tune the call: WithContext / WithTimeout for
+// cancellation (errors match ErrCanceled / ErrTimeout), WithParallelism to
+// solve signature programs concurrently, WithSolverTrace for diagnostics.
 // Repeated calls on the same Exchange reuse cached signature programs.
 func (e *Exchange) Answer(q *Query, opts ...Option) (*Answers, error) {
-	res, err := e.ex.AnswerOpts(q.q, buildOptions(opts))
+	o, err := buildOptions("Answer", scopeQuery, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.ex.AnswerOpts(q.q, o)
 	if err != nil {
 		return nil, err
 	}
@@ -234,9 +252,14 @@ func (e *Exchange) Answer(q *Query, opts ...Option) (*Answers, error) {
 
 // Possible computes the XR-Possible answers of q: the tuples holding in at
 // least one exchange-repair solution (the union dual of XR-Certain). It
-// accepts the same options as Answer and shares the same program cache.
+// accepts the same (query-scope) options as Answer and shares the same
+// program cache.
 func (e *Exchange) Possible(q *Query, opts ...Option) (*Answers, error) {
-	res, err := e.ex.PossibleOpts(q.q, buildOptions(opts))
+	o, err := buildOptions("Possible", scopeQuery, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.ex.PossibleOpts(q.q, o)
 	if err != nil {
 		return nil, err
 	}
@@ -248,9 +271,14 @@ func (e *Exchange) Possible(q *Query, opts ...Option) (*Answers, error) {
 // Repairs enumerates up to limit source repairs (0 = all) using the
 // solver, rendered as fact files. Unlike SourceRepairs it scales past a
 // couple of dozen facts: the safe part is shared and only the suspect
-// envelope is searched. WithContext / WithTimeout bound the enumeration.
+// envelope is searched. Query-scope options apply; WithContext /
+// WithTimeout bound the enumeration.
 func (e *Exchange) Repairs(limit int, opts ...Option) ([]string, error) {
-	repairs, err := e.ex.RepairsOpts(limit, buildOptions(opts))
+	o, err := buildOptions("Repairs", scopeQuery, opts)
+	if err != nil {
+		return nil, err
+	}
+	repairs, err := e.ex.RepairsOpts(limit, o)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +301,10 @@ func (s *System) MonolithicAnswers(i *Instance, queries []*Query, opts ...Option
 	for j, q := range queries {
 		qs[j] = q.q
 	}
-	o := buildOptions(opts)
+	o, err := buildOptions("MonolithicAnswers", scopeQuery, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	results, err := xr.Monolithic(s.w.M, i.in, qs, xr.MonolithicOptions{
 		Ctx:         o.Ctx,
 		Timeout:     o.Timeout,
@@ -294,24 +325,21 @@ func (s *System) MonolithicAnswers(i *Instance, queries []*Query, opts ...Option
 	return out, errs, nil
 }
 
-// MonolithicAnswersTimeout is the pre-options form of MonolithicAnswers.
-//
-// Deprecated: use MonolithicAnswers with WithTimeout.
-func (s *System) MonolithicAnswersTimeout(i *Instance, queries []*Query, timeout time.Duration) ([]*Answers, []error, error) {
-	return s.MonolithicAnswers(i, queries, WithTimeout(timeout))
-}
-
 // BruteForceAnswers computes XR-Certain answers by explicit source-repair
 // enumeration (exponential; refuses instances over 22 facts). Intended for
-// validating the other engines. WithMetrics records repair and query
-// counts; the other options have no effect (nothing to cancel or
-// parallelize).
+// validating the other engines. Query-scope options apply; WithMetrics
+// records repair and query counts, the cancellation and budget options
+// have nothing to interrupt here.
 func (s *System) BruteForceAnswers(i *Instance, queries []*Query, opts ...Option) ([]*Answers, error) {
 	qs := make([]*logic.UCQ, len(queries))
 	for j, q := range queries {
 		qs[j] = q.q
 	}
-	results, err := xr.BruteForceOpts(s.w.M, i.in, qs, buildOptions(opts))
+	o, err := buildOptions("BruteForceAnswers", scopeQuery, opts)
+	if err != nil {
+		return nil, err
+	}
+	results, err := xr.BruteForceOpts(s.w.M, i.in, qs, o)
 	if err != nil {
 		return nil, err
 	}
