@@ -47,8 +47,9 @@ fuzz-smoke:
 # serve-smoke boots the xrserved daemon on an ephemeral port, loads two
 # tricolor scenarios concurrently, queries both end-to-end (asserting the
 # exact answer bodies), exercises budget degradation with ?-marked
-# unknowns over both framings, and checks graceful SIGTERM drain.
-# Requires curl and jq.
+# unknowns over both framings, drives the request-observability chain
+# (X-Request-Id through header, body, JSON access log, /v1/slowlog, and
+# the span tree), and checks graceful SIGTERM drain. Requires curl and jq.
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
@@ -59,8 +60,16 @@ chaos:
 		./internal/faultkit/ ./internal/xr/ ./internal/asp/
 
 # lint runs staticcheck when it is installed and degrades gracefully when it
-# is not (the container image does not bake it in).
+# is not (the container image does not bake it in). The grep gate is
+# unconditional: the server and daemon log exclusively through slog, so a
+# bare log.Print* would bypass the structured access log and its request
+# IDs — reject it at lint time.
 lint:
+	@if grep -rnE '\blog\.(Print|Printf|Println|Fatal|Fatalf|Fatalln)\(' \
+		internal/server cmd/xrserved; then \
+		echo "lint: bare log.Print*/log.Fatal* in server code; use the injected *slog.Logger" >&2; \
+		exit 1; \
+	fi
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

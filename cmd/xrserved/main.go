@@ -15,8 +15,15 @@
 //	DELETE /v1/scenarios/{name}       unload a scenario
 //	POST   /v1/scenarios/{name}/query run a query (buffered JSON or NDJSON stream)
 //	GET    /v1/scenarios/{name}/explain?query=Q[&tuple=a,b]
-//	GET    /healthz                   liveness + drain state
+//	GET    /v1/inflight               live requests (id, tenant, lanes, progress)
+//	GET    /v1/slowlog                recent slow requests (record + span tree)
+//	GET    /v1/requests/{id}/trace    span tree of a recently completed request
+//	GET    /healthz                   liveness + drain state, uptime, version
 //	GET    /metrics                   Prometheus exposition (also /metrics.json, /debug/pprof/)
+//
+// Every request carries an X-Request-Id (generated, or honored from the
+// client), echoed on the response and stamped into the access log, span
+// trees, and solver trace events — one ID correlates all of them.
 //
 // On SIGINT/SIGTERM the daemon stops admitting requests (503), lets
 // in-flight queries finish (bounded by -drain-timeout), then exits.
@@ -27,11 +34,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +62,11 @@ func main() {
 		maxTenants  = flag.Int("max-scenarios", 64, "max loaded scenarios")
 		maxBody     = flag.Int64("max-body-bytes", 16<<20, "max request body size in bytes")
 		drainWindow = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight queries on shutdown")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		slowQuery   = flag.Duration("slow-query", 0, "slow-request threshold: offenders are logged at WARN and captured in /v1/slowlog (0 = disabled)")
+		slowlogSize = flag.Int("slowlog-size", 64, "max entries retained in the /v1/slowlog ring")
+		traceRing   = flag.Int("trace-ring-size", 128, "max completed-request traces retained for /v1/requests/{id}/trace")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,8 +74,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	log.SetPrefix("xrserved: ")
-	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xrserved: %v\n", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		MaxConcurrentQueries:    *maxQueries,
@@ -76,21 +92,27 @@ func main() {
 		MaxScenarios:            *maxTenants,
 		MaxBodyBytes:            *maxBody,
 		Metrics:                 repro.NewMetrics(),
+		Logger:                  logger,
+		SlowQuery:               *slowQuery,
+		SlowLogSize:             *slowlogSize,
+		TraceRingSize:           *traceRing,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listen %s: %v", *addr, err)
+		logger.Error("listen failed", "addr", *addr, "error", err.Error())
+		os.Exit(1)
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
 		// Written after the listener is live: a script that waits for this
 		// file can connect immediately.
 		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
-			log.Fatalf("write -addr-file: %v", err)
+			logger.Error("write -addr-file failed", "path", *addrFile, "error", err.Error())
+			os.Exit(1)
 		}
 	}
-	log.Printf("listening on %s", bound)
+	logger.Info("listening", "addr", bound, "slow_query", slowQuery.String(), "log_format", *logFormat)
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -104,22 +126,51 @@ func main() {
 
 	select {
 	case sig := <-sigCh:
-		log.Printf("received %s; draining (up to %s)", sig, *drainWindow)
+		logger.Info("draining", "signal", sig.String(), "drain_timeout", drainWindow.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWindow)
 		defer cancel()
 		// Drain first: new requests get 503 while in-flight queries finish,
 		// so Shutdown below closes an already-quiescent server.
 		if err := srv.Drain(ctx); err != nil {
-			log.Printf("drain: %v (forcing shutdown)", err)
+			logger.Warn("drain incomplete; forcing shutdown", "error", err.Error())
 		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown failed", "error", err.Error())
 			os.Exit(1)
 		}
-		log.Printf("drained cleanly")
+		logger.Info("drained cleanly")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("serve: %v", err)
+			logger.Error("serve failed", "error", err.Error())
+			os.Exit(1)
 		}
+	}
+}
+
+// buildLogger maps the -log-format/-log-level flags to a slog.Logger on
+// stderr. JSON is the machine-readable access-log format (one object per
+// line); text is for humans at a terminal.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
 }

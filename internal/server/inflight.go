@@ -1,0 +1,103 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Live request introspection: every request in the middleware stack
+// registers its requestState here for its lifetime, and GET /v1/inflight
+// renders the table. The table holds *requestState pointers keyed by
+// identity (not request ID — a client may reuse an X-Request-Id across
+// concurrent requests), so add/remove are O(1) and the snapshot reads the
+// live atomics without blocking the handlers.
+
+type inflightTable struct {
+	mu sync.Mutex
+	m  map[*requestState]struct{}
+}
+
+func newInflightTable() *inflightTable {
+	return &inflightTable{m: make(map[*requestState]struct{})}
+}
+
+func (t *inflightTable) add(st *requestState) {
+	t.mu.Lock()
+	t.m[st] = struct{}{}
+	t.mu.Unlock()
+}
+
+func (t *inflightTable) remove(st *requestState) {
+	t.mu.Lock()
+	delete(t.m, st)
+	t.mu.Unlock()
+}
+
+func (t *inflightTable) snapshot() []*requestState {
+	t.mu.Lock()
+	out := make([]*requestState, 0, len(t.m))
+	for st := range t.m {
+		out = append(out, st)
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// InflightEntry is one live request in GET /v1/inflight.
+type InflightEntry struct {
+	RequestID string `json:"request_id"`
+	Method    string `json:"method"`
+	// Route is the matched route template ("" while still in routing).
+	Route     string  `json:"route,omitempty"`
+	Tenant    string  `json:"tenant,omitempty"`
+	StartTime string  `json:"start_time"` // RFC3339Nano
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// QueryHash is the FNV-64a hash of the query text (query routes only).
+	QueryHash string `json:"query_hash,omitempty"`
+	// Lanes is the solver-lane count leased by the request (0 before the
+	// lease and on non-query routes).
+	Lanes int `json:"lanes,omitempty"`
+	// SignaturesDone counts signature programs solved so far; the total is
+	// unknown until the candidate partition completes, so only progress is
+	// reported.
+	SignaturesDone int64 `json:"signatures_done,omitempty"`
+	Decisions      int64 `json:"decisions,omitempty"`
+	Conflicts      int64 `json:"conflicts,omitempty"`
+}
+
+// InflightResponse is the body of GET /v1/inflight.
+type InflightResponse struct {
+	Requests []InflightEntry `json:"requests"`
+}
+
+func (s *Server) handleInflight(w http.ResponseWriter, _ *http.Request) {
+	states := s.inflight.snapshot()
+	now := time.Now()
+	resp := InflightResponse{Requests: make([]InflightEntry, 0, len(states))}
+	for _, st := range states {
+		route, tenant, queryHash, _ := st.labels()
+		resp.Requests = append(resp.Requests, InflightEntry{
+			RequestID:      st.id,
+			Method:         st.method,
+			Route:          route,
+			Tenant:         tenant,
+			StartTime:      st.start.UTC().Format(time.RFC3339Nano),
+			ElapsedMS:      float64(now.Sub(st.start).Nanoseconds()) / 1e6,
+			QueryHash:      queryHash,
+			Lanes:          int(st.lanes.Load()),
+			SignaturesDone: st.sigsDone.Load(),
+			Decisions:      st.decisions.Load(),
+			Conflicts:      st.conflicts.Load(),
+		})
+	}
+	// Oldest first: the request most likely to be stuck leads the list.
+	sort.Slice(resp.Requests, func(i, j int) bool {
+		if resp.Requests[i].StartTime != resp.Requests[j].StartTime {
+			return resp.Requests[i].StartTime < resp.Requests[j].StartTime
+		}
+		return resp.Requests[i].RequestID < resp.Requests[j].RequestID
+	})
+	writeJSON(w, http.StatusOK, resp)
+}

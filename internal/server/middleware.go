@@ -1,0 +1,366 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The observability middleware stack. Every endpoint is served through
+//
+//	withRequestID → withAccessLog → withMetrics → withRecover → mux
+//
+// withRequestID is outermost so the ID exists for everything downstream
+// (context, response header, inflight table). withRecover is innermost —
+// deliberately inside the observers — so a panic is converted to a 500
+// *before* the access log and RED metrics read the response status;
+// an outermost recover would log status 0 for panicking handlers.
+//
+// All middlewares share one per-request state object (requestState) and
+// one response-writer wrapper (statusWriter), both created by
+// withRequestID, so the stack costs a single allocation pair per request
+// and never disagrees about status or byte counts.
+
+// requestState is the per-request record shared by the middleware stack,
+// the handlers, and the /v1/inflight view. Counter fields are atomics
+// because the solver-trace hook updates them from worker goroutines while
+// /v1/inflight reads them; string fields set after creation are guarded
+// by mu for the same reason.
+type requestState struct {
+	id     string
+	method string
+	start  time.Time
+
+	mu        sync.Mutex
+	route     string
+	tenant    string
+	queryHash string
+	tracer    *telemetry.Tracer
+
+	lanes     atomic.Int64
+	sigsDone  atomic.Int64
+	decisions atomic.Int64
+	conflicts atomic.Int64
+	degraded  atomic.Int64
+	unknown   atomic.Int64
+}
+
+func (st *requestState) setRoute(route string) {
+	st.mu.Lock()
+	st.route = route
+	st.mu.Unlock()
+}
+
+func (st *requestState) setTenant(tenant string) {
+	st.mu.Lock()
+	st.tenant = tenant
+	st.mu.Unlock()
+}
+
+func (st *requestState) setQueryHash(h string) {
+	st.mu.Lock()
+	st.queryHash = h
+	st.mu.Unlock()
+}
+
+func (st *requestState) setTracer(t *telemetry.Tracer) {
+	st.mu.Lock()
+	st.tracer = t
+	st.mu.Unlock()
+}
+
+// labels returns the mutex-guarded strings in one critical section.
+func (st *requestState) labels() (route, tenant, queryHash string, tracer *telemetry.Tracer) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.route, st.tenant, st.queryHash, st.tracer
+}
+
+type stateKey struct{}
+
+// stateFrom returns the request state attached by withRequestID (nil when
+// the handler runs outside the middleware stack, e.g. in direct tests).
+func stateFrom(ctx context.Context) *requestState {
+	st, _ := ctx.Value(stateKey{}).(*requestState)
+	return st
+}
+
+// statusWriter captures the response status and byte count while passing
+// Flush through — NDJSON streaming depends on the wrapped writer still
+// implementing http.Flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// newRequestID returns a 16-hex-char random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is catastrophic enough elsewhere; fall back
+		// to a time-derived ID rather than refusing the request.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a client-supplied X-Request-Id only when it is
+// short and shell/log-safe; anything else is discarded and regenerated.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// queryTextHash is the FNV-64a hash of the query text, hex-encoded: stable
+// across requests so an operator can group slowlog/inflight entries by
+// query without the log carrying (possibly sensitive) query text.
+func queryTextHash(text string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(text))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// observe wraps next in the full middleware stack; see the file comment
+// for the ordering rationale.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return s.withRequestID(s.withAccessLog(s.withMetrics(s.withRecover(next))))
+}
+
+// withRequestID assigns the request ID (honoring a well-formed inbound
+// X-Request-Id), echoes it on the response, creates the shared request
+// state and status writer, and registers the request in the inflight
+// table for its whole lifetime.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = newRequestID()
+		}
+		st := &requestState{id: id, method: r.Method, start: time.Now()}
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		ctx := telemetry.ContextWithRequestID(r.Context(), id)
+		ctx = context.WithValue(ctx, stateKey{}, st)
+		s.inflight.add(st)
+		defer s.inflight.remove(st)
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
+// withAccessLog emits one structured log line per request after it
+// completes, harvests the per-request span tree into the trace ring, and
+// feeds the slow-query log when the request exceeded the threshold.
+func (s *Server) withAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r)
+		st := stateFrom(r.Context())
+		sw, _ := w.(*statusWriter)
+		if st == nil || sw == nil {
+			return
+		}
+		rec := s.buildRecord(st, sw)
+		var spans []telemetry.SpanNode
+		if _, _, _, tracer := st.labels(); tracer != nil {
+			spans = tracer.Spans()
+			s.traces.put(st.id, spans)
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", rec.logAttrs()...)
+		if s.cfg.SlowQuery > 0 && time.Since(st.start) >= s.cfg.SlowQuery {
+			s.slow.add(SlowEntry{AccessRecord: rec, Trace: spans})
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "slow query", rec.logAttrs()...)
+		}
+	})
+}
+
+// withMetrics maintains the RED series: per-route/code/tenant request
+// counts, per-route latency histograms, and the in-flight gauge.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mt := s.cfg.Metrics
+		g := mt.Gauge("xr_inflight_requests")
+		g.Add(1)
+		defer g.Add(-1)
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		st := stateFrom(r.Context())
+		sw, _ := w.(*statusWriter)
+		if st == nil || sw == nil {
+			return
+		}
+		route, tenant, _, _ := st.labels()
+		if route == "" {
+			route = "unmatched"
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		mt.Counter(telemetry.Labeled("xr_http_requests_total",
+			"route", route, "code", fmt.Sprintf("%d", status), "tenant", tenant)).Inc()
+		mt.Histogram(telemetry.Labeled("xr_http_request_seconds", "route", route)).Observe(time.Since(start))
+	})
+}
+
+// withRecover converts a handler panic into a 500 (when no response has
+// started) and logs it with the stack. It sits innermost so the observers
+// above it see the final status. http.ErrAbortHandler is re-raised: it is
+// the sanctioned way to abort a response mid-stream.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			id := ""
+			if st := stateFrom(r.Context()); st != nil {
+				id = st.id
+			}
+			s.log.Error("panic in handler",
+				"request_id", id, "panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+			if sw, ok := w.(*statusWriter); !ok || sw.status == 0 {
+				writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "internal server error"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// route tags the request state with the registered route template (e.g.
+// "/v1/scenarios/{name}/query") so logs and metrics label by pattern, not
+// raw path — raw paths would make tenant names explode the metric
+// cardinality. It runs after mux dispatch, so only matched routes tag.
+func (s *Server) route(pattern string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if st := stateFrom(r.Context()); st != nil {
+			st.setRoute(pattern)
+		}
+		h(w, r)
+	})
+}
+
+// AccessRecord is one completed request as the access log and the slowlog
+// render it. Field names are part of the wire contract (slowlog entries
+// embed it).
+type AccessRecord struct {
+	RequestID  string  `json:"request_id"`
+	Time       string  `json:"time"` // request start, RFC3339Nano
+	Method     string  `json:"method"`
+	Route      string  `json:"route"`
+	Tenant     string  `json:"tenant,omitempty"`
+	Status     int     `json:"status"`
+	Bytes      int64   `json:"bytes"`
+	DurationMS float64 `json:"duration_ms"`
+	Lanes      int     `json:"lanes,omitempty"`
+	Degraded   int     `json:"degraded,omitempty"`
+	Unknown    int     `json:"unknown,omitempty"`
+	Decisions  int64   `json:"decisions,omitempty"`
+	Conflicts  int64   `json:"conflicts,omitempty"`
+	QueryHash  string  `json:"query_hash,omitempty"`
+}
+
+func (s *Server) buildRecord(st *requestState, sw *statusWriter) AccessRecord {
+	route, tenant, queryHash, _ := st.labels()
+	if route == "" {
+		route = "unmatched"
+	}
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return AccessRecord{
+		RequestID:  st.id,
+		Time:       st.start.UTC().Format(time.RFC3339Nano),
+		Method:     st.method,
+		Route:      route,
+		Tenant:     tenant,
+		Status:     status,
+		Bytes:      sw.bytes,
+		DurationMS: float64(time.Since(st.start).Nanoseconds()) / 1e6,
+		Lanes:      int(st.lanes.Load()),
+		Degraded:   int(st.degraded.Load()),
+		Unknown:    int(st.unknown.Load()),
+		Decisions:  st.decisions.Load(),
+		Conflicts:  st.conflicts.Load(),
+		QueryHash:  queryHash,
+	}
+}
+
+// logAttrs renders the record as slog attributes; the access log line and
+// the slow-query WARN share the exact same shape.
+func (r AccessRecord) logAttrs() []slog.Attr {
+	attrs := []slog.Attr{
+		slog.String("request_id", r.RequestID),
+		slog.String("method", r.Method),
+		slog.String("route", r.Route),
+		slog.String("tenant", r.Tenant),
+		slog.Int("status", r.Status),
+		slog.Int64("bytes", r.Bytes),
+		slog.Float64("duration_ms", r.DurationMS),
+	}
+	if r.Lanes > 0 {
+		attrs = append(attrs, slog.Int("lanes", r.Lanes))
+	}
+	if r.Degraded > 0 || r.Unknown > 0 {
+		attrs = append(attrs,
+			slog.Int("degraded", r.Degraded), slog.Int("unknown", r.Unknown))
+	}
+	if r.Decisions > 0 || r.Conflicts > 0 {
+		attrs = append(attrs,
+			slog.Int64("decisions", r.Decisions), slog.Int64("conflicts", r.Conflicts))
+	}
+	if r.QueryHash != "" {
+		attrs = append(attrs, slog.String("query_hash", r.QueryHash))
+	}
+	return attrs
+}

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -54,6 +56,20 @@ type Config struct {
 	// (xr_server_queries_total{scenario="..."} etc.), and is exposed at
 	// /metrics on the same mux. Defaults to a fresh registry.
 	Metrics *repro.Metrics
+
+	// Logger receives structured lifecycle and access-log records.
+	// Defaults to a discard logger: the library stays silent unless the
+	// embedding process (cmd/xrserved) opts in.
+	Logger *slog.Logger
+	// SlowQuery is the slow-request threshold: a request whose wall time
+	// meets it is logged at WARN and captured (access record + span tree)
+	// in the slowlog ring. Zero disables capture.
+	SlowQuery time.Duration
+	// SlowLogSize bounds the slowlog ring (default 64 entries).
+	SlowLogSize int
+	// TraceRingSize bounds the completed-request trace ring backing
+	// GET /v1/requests/{id}/trace (default 128 entries).
+	TraceRingSize int
 }
 
 // withDefaults fills unset fields.
@@ -83,6 +99,15 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = repro.NewMetrics()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 64
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 128
+	}
 	return c
 }
 
@@ -90,45 +115,74 @@ func (c Config) withDefaults() Config {
 // process-wide admission controls, and the HTTP API. Create with New,
 // mount Handler, stop with Drain.
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	admit chan struct{}
-	lanes *lanePool
-	group *drainGroup
-	mux   *http.ServeMux
+	cfg      Config
+	log      *slog.Logger
+	reg      *Registry
+	admit    chan struct{}
+	lanes    *lanePool
+	group    *drainGroup
+	mux      *http.ServeMux
+	root     http.Handler
+	inflight *inflightTable
+	slow     *slowRing
+	traces   *traceRing
+	start    time.Time
+	version  string
 }
 
 // New builds a Server from cfg (zero-value fields get defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.MaxScenarios),
-		admit: make(chan struct{}, cfg.MaxConcurrentQueries),
-		lanes: newLanePool(cfg.TotalLanes),
-		group: newDrainGroup(),
+		cfg:      cfg,
+		log:      cfg.Logger,
+		reg:      NewRegistry(cfg.MaxScenarios),
+		admit:    make(chan struct{}, cfg.MaxConcurrentQueries),
+		lanes:    newLanePool(cfg.TotalLanes),
+		group:    newDrainGroup(),
+		inflight: newInflightTable(),
+		slow:     newSlowRing(cfg.SlowLogSize),
+		traces:   newTraceRing(cfg.TraceRingSize),
+		start:    time.Now(),
+		version:  buildVersion(),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/scenarios", s.handleLoad)
-	mux.HandleFunc("GET /v1/scenarios", s.handleList)
-	mux.HandleFunc("GET /v1/scenarios/{name}", s.handleInfo)
-	mux.HandleFunc("DELETE /v1/scenarios/{name}", s.handleUnload)
-	mux.HandleFunc("POST /v1/scenarios/{name}/query", s.handleQuery)
-	mux.HandleFunc("GET /v1/scenarios/{name}/explain", s.handleExplain)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Routes register through s.route so logs and metrics carry the route
+	// template instead of raw (tenant-bearing) paths.
+	mux.Handle("POST /v1/scenarios", s.route("/v1/scenarios", s.handleLoad))
+	mux.Handle("GET /v1/scenarios", s.route("/v1/scenarios", s.handleList))
+	mux.Handle("GET /v1/scenarios/{name}", s.route("/v1/scenarios/{name}", s.handleInfo))
+	mux.Handle("DELETE /v1/scenarios/{name}", s.route("/v1/scenarios/{name}", s.handleUnload))
+	mux.Handle("POST /v1/scenarios/{name}/query", s.route("/v1/scenarios/{name}/query", s.handleQuery))
+	mux.Handle("GET /v1/scenarios/{name}/explain", s.route("/v1/scenarios/{name}/explain", s.handleExplain))
+	mux.Handle("GET /v1/inflight", s.route("/v1/inflight", s.handleInflight))
+	mux.Handle("GET /v1/slowlog", s.route("/v1/slowlog", s.handleSlowlog))
+	mux.Handle("GET /v1/requests/{id}/trace", s.route("/v1/requests/{id}/trace", s.handleRequestTrace))
+	mux.Handle("GET /healthz", s.route("/healthz", s.handleHealthz))
 	// Metrics/pprof exposition shares the mux: the daemon is its own
 	// observability endpoint (/metrics, /metrics.json, /debug/vars,
 	// /debug/pprof/).
 	obs := telemetry.Handler(s.cfg.Metrics)
-	mux.Handle("/metrics", obs)
-	mux.Handle("/metrics.json", obs)
-	mux.Handle("/debug/", obs)
+	mux.Handle("/metrics", s.route("/metrics", obs.ServeHTTP))
+	mux.Handle("/metrics.json", s.route("/metrics.json", obs.ServeHTTP))
+	mux.Handle("/debug/", s.route("/debug/", obs.ServeHTTP))
 	s.mux = mux
+	s.root = s.observe(mux)
 	return s
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// buildVersion reports the main module version from the embedded build
+// info ("devel" for an un-stamped build).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// Handler returns the daemon's HTTP handler (the mux wrapped in the
+// observability middleware stack; see middleware.go).
+func (s *Server) Handler() http.Handler { return s.root }
 
 // Registry exposes the tenant table (used by cmd/xrserved for preloading).
 func (s *Server) Registry() *Registry { return s.reg }
@@ -201,11 +255,18 @@ type QueryRequest struct {
 
 // QueryResponse is the buffered-JSON body of a query call.
 type QueryResponse struct {
-	Scenario string         `json:"scenario"`
-	Query    string         `json:"query"`
-	Mode     string         `json:"mode"`
-	Partial  bool           `json:"partial"`
-	Answers  *repro.Answers `json:"answers"`
+	Scenario string `json:"scenario"`
+	Query    string `json:"query"`
+	Mode     string `json:"mode"`
+	Partial  bool   `json:"partial"`
+	// RequestID echoes the X-Request-Id header in the body, so a stored
+	// response stays correlatable with logs, slowlog, and trace fetches.
+	RequestID string         `json:"request_id,omitempty"`
+	Answers   *repro.Answers `json:"answers"`
+	// Trace is the request's span tree, included when the request asked
+	// for it with ?trace=1 (also fetchable later at
+	// GET /v1/requests/{id}/trace while the trace ring retains it).
+	Trace []telemetry.SpanNode `json:"trace,omitempty"`
 }
 
 // ExplainResponse is the body of GET /v1/scenarios/{name}/explain.
@@ -216,11 +277,13 @@ type ExplainResponse struct {
 
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
-	Status    string `json:"status"` // "ok" or "draining"
-	Scenarios int    `json:"scenarios"`
-	Inflight  int    `json:"inflight"`
-	LanesBusy int    `json:"lanes_busy"`
-	LanesMax  int    `json:"lanes_max"`
+	Status        string  `json:"status"` // "ok" or "draining"
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Scenarios     int     `json:"scenarios"`
+	Inflight      int     `json:"inflight"`
+	LanesBusy     int     `json:"lanes_busy"`
+	LanesMax      int     `json:"lanes_max"`
 }
 
 // ErrorResponse is every non-2xx body.
@@ -233,11 +296,13 @@ type ErrorResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := HealthResponse{
-		Status:    "ok",
-		Scenarios: s.reg.Len(),
-		Inflight:  s.group.Inflight(),
-		LanesBusy: s.lanes.inUse(),
-		LanesMax:  s.lanes.capacity(),
+		Status:        "ok",
+		Version:       s.version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Scenarios:     s.reg.Len(),
+		Inflight:      s.group.Inflight(),
+		LanesBusy:     s.lanes.inUse(),
+		LanesMax:      s.lanes.capacity(),
 	}
 	code := http.StatusOK
 	if s.group.Draining() {
@@ -257,6 +322,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	if st := stateFrom(r.Context()); st != nil {
+		st.setTenant(req.Name)
+	}
 	sc, err := s.reg.Load(req.Name, req.Mapping, req.Facts, req.Queries, repro.WithMetrics(s.cfg.Metrics))
 	if err != nil {
 		switch {
@@ -271,7 +339,15 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cfg.Metrics.Gauge("xr_server_scenarios").Set(int64(s.reg.Len()))
 	s.cfg.Metrics.Counter("xr_server_loads_total").Inc()
-	writeJSON(w, http.StatusCreated, sc.Info())
+	info := sc.Info()
+	s.log.Info("scenario loaded",
+		"request_id", telemetry.RequestIDFromContext(r.Context()),
+		"scenario", info.Name,
+		"source_facts", info.SourceFacts,
+		"consistent", info.Consistent,
+		"violations", info.Violations,
+		"queries", len(info.Queries))
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -284,6 +360,9 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if st := stateFrom(r.Context()); st != nil {
+		st.setTenant(r.PathValue("name"))
+	}
 	sc, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, r.PathValue("name"), err)
@@ -294,17 +373,26 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if st := stateFrom(r.Context()); st != nil {
+		st.setTenant(name)
+	}
 	if err := s.reg.Remove(name); err != nil {
 		s.writeError(w, http.StatusNotFound, name, err)
 		return
 	}
 	s.cfg.Metrics.Gauge("xr_server_scenarios").Set(int64(s.reg.Len()))
 	s.cfg.Metrics.Counter("xr_server_unloads_total").Inc()
+	s.log.Info("scenario unloaded",
+		"request_id", telemetry.RequestIDFromContext(r.Context()), "scenario", name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	scenario := r.PathValue("name")
+	st := stateFrom(r.Context())
+	if st != nil {
+		st.setTenant(scenario)
+	}
 	if !s.group.Enter() {
 		s.writeError(w, http.StatusServiceUnavailable, scenario, errors.New("server draining"))
 		return
@@ -365,16 +453,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Lease solver lanes from the process-wide pool; the request context
 	// bounds the wait so an abandoned request never holds a slot.
+	mt := s.cfg.Metrics
+	lanesGauge := mt.Gauge("xr_lanes_in_use")
+	defer func() { lanesGauge.Set(int64(s.lanes.inUse())) }() // runs after release
 	lanes, release := s.lanes.lease(r.Context(), s.cfg.PerQueryLanes)
 	if release == nil {
 		s.writeError(w, http.StatusServiceUnavailable, scenario, errors.New("canceled while waiting for solver lanes"))
 		return
 	}
 	defer release()
+	lanesGauge.Set(int64(s.lanes.inUse()))
 
-	opts := s.queryOptions(r.Context(), &req, lanes)
+	// Per-request observability: a dedicated tracer (span tree harvested
+	// into the trace ring / slowlog by the middleware) and the query hash
+	// + lane count for /v1/inflight.
+	tracer := telemetry.NewTracer()
+	if st != nil {
+		tracer.SetRequestID(st.id)
+		st.setTracer(tracer)
+		st.lanes.Store(int64(lanes))
+		if req.Name != "" {
+			st.setQueryHash(queryTextHash(req.Name))
+		} else {
+			st.setQueryHash(queryTextHash(req.Query))
+		}
+	}
 
-	mt := s.cfg.Metrics
+	opts := s.queryOptions(r.Context(), &req, lanes, st, tracer)
+
 	mt.Counter(telemetry.Labeled("xr_server_queries_total", "scenario", scenario, "mode", mode)).Inc()
 	inflight := mt.Gauge(telemetry.Labeled("xr_server_inflight", "scenario", scenario))
 	inflight.Add(1)
@@ -408,23 +514,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if ans.Partial() {
 		mt.Counter(telemetry.Labeled("xr_server_degraded_total", "scenario", scenario)).Inc()
 	}
+	requestID := ""
+	if st != nil {
+		st.degraded.Store(int64(ans.DegradedSignatures))
+		st.unknown.Store(int64(ans.UnknownTuples))
+		requestID = st.id
+	}
 
 	if req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
 		streamAnswers(w, scenario, q.Name(), mode, q.Arity(), ans)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{
-		Scenario: scenario,
-		Query:    q.Name(),
-		Mode:     mode,
-		Partial:  ans.Partial(),
-		Answers:  ans,
-	})
+	resp := QueryResponse{
+		Scenario:  scenario,
+		Query:     q.Name(),
+		Mode:      mode,
+		Partial:   ans.Partial(),
+		RequestID: requestID,
+		Answers:   ans,
+	}
+	// ?trace=1 inlines the span tree; it is also retained in the trace
+	// ring for GET /v1/requests/{id}/trace either way.
+	if r.URL.Query().Get("trace") == "1" {
+		resp.Trace = tracer.Spans()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // queryOptions maps the wire request onto the options API, applying the
-// server-side default budgets.
-func (s *Server) queryOptions(ctx context.Context, req *QueryRequest, lanes int) []repro.Option {
+// server-side default budgets. The per-request tracer and the solver-trace
+// hook attribute spans and solver work (decisions/conflicts, signature
+// progress) to this request: the hook accumulates into the request state's
+// atomics, so concurrent tenants never contaminate each other's deltas the
+// way a shared-registry snapshot diff would.
+func (s *Server) queryOptions(ctx context.Context, req *QueryRequest, lanes int, st *requestState, tracer *telemetry.Tracer) []repro.Option {
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < s.cfg.MaxTimeout {
@@ -456,6 +579,16 @@ func (s *Server) queryOptions(ctx context.Context, req *QueryRequest, lanes int)
 		repro.WithPartialResults(partial),
 		repro.WithMetrics(s.cfg.Metrics),
 	}
+	if tracer != nil {
+		opts = append(opts, repro.WithTracer(tracer))
+	}
+	if st != nil {
+		opts = append(opts, repro.WithSolverTrace(func(ev repro.TraceEvent) {
+			st.sigsDone.Add(1)
+			st.decisions.Add(ev.Decisions)
+			st.conflicts.Add(ev.Conflicts)
+		}))
+	}
 	if sigTimeout > 0 {
 		opts = append(opts, repro.WithSignatureTimeout(sigTimeout))
 	}
@@ -470,6 +603,10 @@ func (s *Server) queryOptions(ctx context.Context, req *QueryRequest, lanes int)
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	scenario := r.PathValue("name")
+	st := stateFrom(r.Context())
+	if st != nil {
+		st.setTenant(scenario)
+	}
 	if !s.group.Enter() {
 		s.writeError(w, http.StatusServiceUnavailable, scenario, errors.New("server draining"))
 		return
@@ -506,16 +643,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			args[i] = strings.TrimSpace(args[i])
 		}
 	}
+	lanesGauge := s.cfg.Metrics.Gauge("xr_lanes_in_use")
+	defer func() { lanesGauge.Set(int64(s.lanes.inUse())) }() // runs after release
 	lanes, release := s.lanes.lease(r.Context(), s.cfg.PerQueryLanes)
 	if release == nil {
 		s.writeError(w, http.StatusServiceUnavailable, scenario, errors.New("canceled while waiting for solver lanes"))
 		return
 	}
 	defer release()
+	lanesGauge.Set(int64(s.lanes.inUse()))
+	tracer := telemetry.NewTracer()
+	if st != nil {
+		tracer.SetRequestID(st.id)
+		st.setTracer(tracer)
+		st.lanes.Store(int64(lanes))
+		st.setQueryHash(queryTextHash(qname))
+	}
 	e, err := sc.Why(q, args,
 		repro.WithContext(r.Context()),
 		repro.WithTimeout(s.cfg.DefaultTimeout),
 		repro.WithParallelism(lanes),
+		repro.WithTracer(tracer),
 		repro.WithMetrics(s.cfg.Metrics))
 	if err != nil {
 		code := http.StatusInternalServerError

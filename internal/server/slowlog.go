@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// errNoTrace reports an unknown (or already evicted) request ID.
+func errNoTrace(id string) error {
+	return fmt.Errorf("no trace for request %q (unknown id, traced before the ring's horizon, or a route that does not trace)", id)
+}
+
+// Slow-query capture and the completed-request trace ring. Both are
+// bounded in-memory rings: old entries are evicted in FIFO order, so the
+// memory ceiling is cap × (record + span tree) regardless of traffic.
+// Persisting slow queries beyond process lifetime is an operator concern
+// (scrape /v1/slowlog); the ring is the always-on flight recorder.
+
+// SlowEntry is one slow request: the full access record plus the span
+// tree captured by the per-request tracer.
+type SlowEntry struct {
+	AccessRecord
+	Trace []telemetry.SpanNode `json:"trace,omitempty"`
+}
+
+// SlowlogResponse is the body of GET /v1/slowlog.
+type SlowlogResponse struct {
+	// Threshold is the active -slow-query threshold in milliseconds
+	// (0 = capture disabled).
+	ThresholdMS float64     `json:"threshold_ms"`
+	Entries     []SlowEntry `json:"entries"`
+}
+
+type slowRing struct {
+	mu      sync.Mutex
+	cap     int
+	entries []SlowEntry // oldest first
+}
+
+func newSlowRing(capacity int) *slowRing {
+	return &slowRing{cap: capacity}
+}
+
+func (r *slowRing) add(e SlowEntry) {
+	r.mu.Lock()
+	r.entries = append(r.entries, e)
+	if len(r.entries) > r.cap {
+		// Shift rather than reslice so evicted entries are released.
+		copy(r.entries, r.entries[len(r.entries)-r.cap:])
+		r.entries = r.entries[:r.cap]
+	}
+	r.mu.Unlock()
+}
+
+// list returns entries newest first (the most recent offender leads).
+func (r *slowRing) list() []SlowEntry {
+	r.mu.Lock()
+	out := make([]SlowEntry, len(r.entries))
+	for i, e := range r.entries {
+		out[len(out)-1-i] = e
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// traceRing holds the span trees of recently completed requests, keyed by
+// request ID, for GET /v1/requests/{id}/trace. A reused request ID
+// overwrites its previous entry (latest wins).
+type traceRing struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // insertion order, oldest first
+	m     map[string][]telemetry.SpanNode
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{cap: capacity, m: make(map[string][]telemetry.SpanNode, capacity)}
+}
+
+func (r *traceRing) put(id string, spans []telemetry.SpanNode) {
+	if id == "" {
+		return
+	}
+	r.mu.Lock()
+	if _, exists := r.m[id]; !exists {
+		r.order = append(r.order, id)
+		if len(r.order) > r.cap {
+			evict := r.order[0]
+			copy(r.order, r.order[1:])
+			r.order = r.order[:len(r.order)-1]
+			delete(r.m, evict)
+		}
+	}
+	r.m[id] = spans
+	r.mu.Unlock()
+}
+
+func (r *traceRing) get(id string) ([]telemetry.SpanNode, bool) {
+	r.mu.Lock()
+	spans, ok := r.m[id]
+	r.mu.Unlock()
+	return spans, ok
+}
+
+// TraceResponse is the body of GET /v1/requests/{id}/trace.
+type TraceResponse struct {
+	RequestID string               `json:"request_id"`
+	Trace     []telemetry.SpanNode `json:"trace"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, SlowlogResponse{
+		ThresholdMS: float64(s.cfg.SlowQuery.Nanoseconds()) / 1e6,
+		Entries:     s.slow.list(),
+	})
+}
+
+func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans, ok := s.traces.get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "", errNoTrace(id))
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{RequestID: id, Trace: spans})
+}

@@ -1,0 +1,34 @@
+package telemetry
+
+import "context"
+
+// Request-ID context plumbing. The server assigns every HTTP request an ID
+// and threads it through context.Context into the engines, which stamp it
+// onto TraceEvents and span annotations — so an access-log line, a
+// Prometheus exemplar-style trace fetch, and a Perfetto export from
+// concurrent tenants can all be correlated back to one request. The key is
+// unexported: this package is the one vocabulary both internal/server and
+// internal/xr share without depending on each other.
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// ContextWithRequestID returns a context carrying the request ID. An empty
+// id returns ctx unchanged.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFromContext returns the request ID carried by ctx, or "" when
+// none was attached (library use outside the daemon).
+func RequestIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

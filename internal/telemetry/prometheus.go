@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders every instrument in the Prometheus text
@@ -51,10 +52,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		histNames = append(histNames, name)
 	}
 	sort.Strings(histNames)
+	sort.SliceStable(histNames, func(i, j int) bool { return baseName(histNames[i]) < baseName(histNames[j]) })
+	lastFamily := ""
 	for _, name := range histNames {
 		h := hists[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-			return err
+		// A Labeled histogram name carries its own label set; the le label
+		// must merge into those braces ("f_bucket{scenario="a",le="1"}"),
+		// and sum/count keep them ("f_sum{scenario="a"}"). Rendering the
+		// labels after a suffixed name would be malformed exposition.
+		fam, labels := splitSeries(name)
+		if fam != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+				return err
+			}
+			lastFamily = fam
 		}
 		cum := int64(0)
 		for i := 0; i < numBuckets; i++ {
@@ -69,16 +80,35 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if i == numBuckets-1 {
 				cum = h.count // +Inf bucket always equals the total count
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			leLabel := fmt.Sprintf("le=%q", le)
+			if labels != "" {
+				leLabel = labels + "," + leLabel
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, leLabel, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-			name, formatFloat(float64(h.sumNs)/1e9), name, h.count); err != nil {
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			fam, suffix, formatFloat(float64(h.sumNs)/1e9), fam, suffix, h.count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// splitSeries splits a (possibly Labeled) series name into its family and
+// the label text without braces: `f{a="b"}` → ("f", `a="b"`); plain names
+// return ("f", "").
+func splitSeries(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
 }
 
 // writeScalars renders counters or gauges. Labeled series (see Labeled)

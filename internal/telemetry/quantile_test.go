@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestHistogramQuantile pins quantile estimates against a known bimodal
+// observation set: 50 fast (10µs → bucket (8µs,16µs]) and 50 slow
+// (100ms → bucket (65.536ms,131.072ms]). Linear interpolation inside the
+// log₂ bucket gives exact expected values.
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 50; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		// target 50 falls exactly at the top of the fast bucket.
+		{0.50, 1.6e-5},
+		// target 95 is 90% through the slow bucket: 0.065536 * 1.9.
+		{0.95, 0.1245184},
+		// target 99 is 98% through the slow bucket: 0.065536 * 1.98.
+		{0.99, 0.12976128},
+		// out-of-range q values clamp.
+		{-1, 1.6e-5 / 50 * 0}, // q=0 → target 0 → start of first occupied bucket interpolation
+	} {
+		got := h.Quantile(tc.q)
+		if tc.q < 0 {
+			// q clamps to 0: target 0 lands in the fast bucket at fraction 0,
+			// i.e. the bucket's lower bound.
+			if !almostEqual(got, 8e-6) {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, 8e-6)
+			}
+			continue
+		}
+		if !almostEqual(got, tc.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Quantile(2); !almostEqual(got, 0.131072) {
+		t.Errorf("Quantile(2) = %v, want clamp to p100 = 0.131072", got)
+	}
+}
+
+// TestHistogramQuantileEdges covers the empty histogram, a nil receiver,
+// and the unbounded overflow bucket (which reports its lower bound rather
+// than inventing an upper one).
+func TestHistogramQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v", got)
+	}
+	h := &Histogram{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v", got)
+	}
+	h.Observe(100 * time.Hour) // overflow bucket
+	want := bucketUpperSeconds(numBuckets - 2)
+	if got := h.Quantile(0.99); !almostEqual(got, want) {
+		t.Fatalf("overflow quantile = %v, want lower bound %v", got, want)
+	}
+}
+
+// TestSnapshotQuantiles checks p50/p95/p99 flow into the JSON snapshot.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("xr_q_seconds")
+	for i := 0; i < 50; i++ {
+		h.Observe(10 * time.Microsecond)
+		h.Observe(100 * time.Millisecond)
+	}
+	snap := r.Snapshot()
+	hs, ok := snap.Histograms["xr_q_seconds"]
+	if !ok {
+		t.Fatalf("histogram missing from snapshot: %v", snap.Histograms)
+	}
+	if !almostEqual(hs.P50, 1.6e-5) {
+		t.Errorf("p50 = %v, want 1.6e-5", hs.P50)
+	}
+	if !almostEqual(hs.P95, 0.1245184) {
+		t.Errorf("p95 = %v, want 0.1245184", hs.P95)
+	}
+	if !almostEqual(hs.P99, 0.12976128) {
+		t.Errorf("p99 = %v, want 0.12976128", hs.P99)
+	}
+}
+
+// TestWritePrometheusLabeledHistogram pins the exposition of a labeled
+// histogram: the le label merges into the series' own label set, sum and
+// count keep the labels, and the family gets exactly one TYPE line even
+// with several labeled variants.
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(Labeled("xr_q_seconds", "route", "query")).Observe(3 * time.Microsecond)
+	r.Histogram(Labeled("xr_q_seconds", "route", "explain")).Observe(3 * time.Microsecond)
+	r.Histogram("xr_q_seconds").Observe(3 * time.Microsecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE xr_q_seconds histogram"); n != 1 {
+		t.Errorf("want exactly one TYPE line for the histogram family, got %d:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"xr_q_seconds_bucket{le=\"4e-06\"} 1\n",
+		"xr_q_seconds_bucket{route=\"query\",le=\"4e-06\"} 1\n",
+		"xr_q_seconds_bucket{route=\"query\",le=\"+Inf\"} 1\n",
+		"xr_q_seconds_sum{route=\"query\"} 3e-06\n",
+		"xr_q_seconds_count{route=\"query\"} 1\n",
+		"xr_q_seconds_bucket{route=\"explain\",le=\"+Inf\"} 1\n",
+		"xr_q_seconds_sum 3e-06\n",
+		"xr_q_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Malformed shapes from the old renderer must be gone.
+	for _, bad := range []string{
+		"}_bucket", "}_sum", "}_count", "# TYPE xr_q_seconds{",
+	} {
+		if strings.Contains(out, bad) {
+			t.Errorf("exposition contains malformed fragment %q:\n%s", bad, out)
+		}
+	}
+}
+
+// TestLabeledHostileValues round-trips hostile tenant names — backslashes,
+// newlines, quotes, and invalid UTF-8 — through Labeled and the Prometheus
+// exposition. The golden lines are exactly what a conforming parser
+// expects: \\ for backslash, \n for newline, \" for quote, and raw bytes
+// otherwise.
+func TestLabeledHostileValues(t *testing.T) {
+	for _, tc := range []struct {
+		value string
+		want  string // full series name
+	}{
+		{`back\slash`, `m_total{tenant="back\\slash"}`},
+		{"new\nline", `m_total{tenant="new\nline"}`},
+		{`quo"te`, `m_total{tenant="quo\"te"}`},
+		{"\\\n\"", `m_total{tenant="\\\n\""}`},
+		// Invalid UTF-8 passes through byte-for-byte (no U+FFFD mangling).
+		{"\xff\xfe", "m_total{tenant=\"\xff\xfe\"}"},
+	} {
+		got := Labeled("m_total", "tenant", tc.value)
+		if got != tc.want {
+			t.Errorf("Labeled(%q) = %q, want %q", tc.value, got, tc.want)
+			continue
+		}
+		r := NewRegistry()
+		r.Counter(got).Add(1)
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		wantLine := tc.want + " 1\n"
+		if !strings.Contains(sb.String(), wantLine) {
+			t.Errorf("exposition for %q missing %q:\n%s", tc.value, wantLine, sb.String())
+		}
+	}
+}

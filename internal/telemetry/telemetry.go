@@ -119,6 +119,61 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketIndex(d)].Add(1)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed durations
+// in seconds, reconstructed from the log₂ buckets with linear interpolation
+// inside the selected bucket. The estimate is exact at bucket boundaries
+// and off by at most a factor of 2 inside a bucket — good enough for the
+// p50/p95/p99 operator dashboards it feeds. Observations in the unbounded
+// overflow bucket report that bucket's lower bound (a conservative
+// under-estimate). Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var buckets [numBuckets]int64
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return bucketQuantile(&buckets, h.count.Load(), q)
+}
+
+// bucketQuantile implements Quantile over a copied bucket array, so
+// Snapshot can reuse it without re-reading the atomics per percentile.
+func bucketQuantile(buckets *[numBuckets]int64, count int64, q float64) float64 {
+	if count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(count)
+	cum := float64(0)
+	for i := 0; i < numBuckets; i++ {
+		n := float64(buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bucketUpperSeconds(i - 1)
+		}
+		if i == numBuckets-1 {
+			// Unbounded overflow bucket: no upper edge to interpolate to.
+			return lower
+		}
+		upper := bucketUpperSeconds(i)
+		return lower + (upper-lower)*((target-cum)/n)
+	}
+	return 0
+}
+
 // Count returns the number of observations (0 on a nil receiver).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -199,14 +254,18 @@ func Labeled(name string, kv ...string) string {
 }
 
 // escapeLabelValue escapes a label value per the Prometheus text
-// exposition format: backslash, double quote, and newline.
+// exposition format: backslash, double quote, and newline. It works
+// byte-wise, not rune-wise: the exposition format treats values as raw
+// bytes, and a rune loop would silently rewrite invalid UTF-8 (a hostile
+// tenant name) to U+FFFD, changing the series identity.
 func escapeLabelValue(v string) string {
 	if !strings.ContainsAny(v, "\\\"\n") {
 		return v
 	}
 	var b strings.Builder
-	for _, r := range v {
-		switch r {
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
 		case '\\':
 			b.WriteString(`\\`)
 		case '"':
@@ -214,7 +273,7 @@ func escapeLabelValue(v string) string {
 		case '\n':
 			b.WriteString(`\n`)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(v[i])
 		}
 	}
 	return b.String()
@@ -303,9 +362,14 @@ func (r *Registry) Histogram(name string) *Histogram {
 // with their exclusive upper bounds in seconds (the unbounded bucket
 // reports UpperSeconds 0), total count, and the sum in seconds.
 type HistogramSnapshot struct {
-	Count      int64         `json:"count"`
-	SumSeconds float64       `json:"sum_seconds"`
-	Buckets    []BucketCount `json:"buckets,omitempty"`
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	// P50/P95/P99 are latency-quantile estimates in seconds, reconstructed
+	// from the log₂ buckets (see Histogram.Quantile). Zero when empty.
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // BucketCount is one non-empty histogram bucket.
@@ -347,8 +411,15 @@ func (r *Registry) Snapshot() Snapshot {
 				Count:      h.count.Load(),
 				SumSeconds: float64(h.sumNs.Load()) / 1e9,
 			}
+			var buckets [numBuckets]int64
 			for i := range h.buckets {
-				if n := h.buckets[i].Load(); n > 0 {
+				buckets[i] = h.buckets[i].Load()
+			}
+			hs.P50 = bucketQuantile(&buckets, hs.Count, 0.50)
+			hs.P95 = bucketQuantile(&buckets, hs.Count, 0.95)
+			hs.P99 = bucketQuantile(&buckets, hs.Count, 0.99)
+			for i := range buckets {
+				if n := buckets[i]; n > 0 {
 					upper := bucketUpperSeconds(i)
 					if i == numBuckets-1 {
 						upper = 0 // unbounded overflow bucket

@@ -35,25 +35,28 @@ type SpanID int64
 // NoSpan is the parent of root spans.
 const NoSpan SpanID = 0
 
-// SpanNode is one finished span of the hierarchical trace.
+// SpanNode is one finished span of the hierarchical trace. The JSON tags
+// are a wire contract: the server returns span trees inline on ?trace=1
+// and from /v1/requests/{id}/trace, so field names are pinned snake_case.
 type SpanNode struct {
-	ID     SpanID
-	Parent SpanID
-	Name   string
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	Name   string `json:"name"`
 	// Lane is the worker lane the span ran on (0 = the caller's goroutine);
 	// it becomes the Chrome trace "tid".
-	Lane int
+	Lane int `json:"lane,omitempty"`
 	// Start is the offset from the tracer's epoch; Dur the span length.
-	Start time.Duration
-	Dur   time.Duration
+	// time.Duration marshals as integer nanoseconds.
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
 	// Args are sorted key/value annotations (signature keys, counters, ...).
-	Args []SpanArg
+	Args []SpanArg `json:"args,omitempty"`
 }
 
 // SpanArg is one span annotation.
 type SpanArg struct {
-	Key   string
-	Value string
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // Tracer collects a hierarchical span tree. The zero value is not usable;
@@ -61,15 +64,38 @@ type SpanArg struct {
 type Tracer struct {
 	epoch time.Time
 
-	mu    sync.Mutex
-	next  int64
-	spans []SpanNode
+	mu        sync.Mutex
+	next      int64
+	requestID string
+	spans     []SpanNode
 }
 
 // NewTracer returns an empty tracer whose epoch is "now"; span start
 // offsets are relative to it.
 func NewTracer() *Tracer {
 	return &Tracer{epoch: time.Now()}
+}
+
+// SetRequestID associates the tracer with one HTTP request; exports stamp
+// the ID so traces from concurrent tenants stay distinguishable. Safe on a
+// nil tracer.
+func (t *Tracer) SetRequestID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.requestID = id
+	t.mu.Unlock()
+}
+
+// RequestID returns the ID set by SetRequestID ("" on a nil tracer).
+func (t *Tracer) RequestID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requestID
 }
 
 // ActiveSpan is an in-flight span; call End to record it. A nil *ActiveSpan
@@ -209,17 +235,21 @@ type chromeTrace struct {
 // Safe on a nil tracer (writes an empty trace).
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
+	reqID := t.RequestID()
 	lanes := map[int]bool{}
 	out := chromeTrace{TraceEvents: []chromeEvent{}}
 	for _, s := range spans {
 		lanes[s.Lane] = true
-		args := make(map[string]string, len(s.Args)+2)
+		args := make(map[string]string, len(s.Args)+3)
 		for _, a := range s.Args {
 			args[a.Key] = a.Value
 		}
 		args["id"] = itoa64(int64(s.ID))
 		if s.Parent != NoSpan {
 			args["parent"] = itoa64(int64(s.Parent))
+		}
+		if reqID != "" {
+			args["request_id"] = reqID
 		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: s.Name,

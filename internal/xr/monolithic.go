@@ -165,6 +165,7 @@ func solveProgram(ctx context.Context, prov *chase.Provenance, rq *logic.UCQ, st
 		ev := TraceEvent{
 			Engine:           "monolithic",
 			Query:            qname,
+			RequestID:        telemetry.RequestIDFromContext(ctx),
 			Candidates:       len(atoms),
 			Atoms:            enc.gp.NumAtoms(),
 			Rules:            len(enc.gp.Rules),

@@ -242,6 +242,10 @@ type TraceEvent struct {
 	// vocabulary Explanation.Signature and SignatureError.Signature use, so
 	// trace lines and explanations cross-reference directly.
 	SignatureKey string `json:"signature_key,omitempty"`
+	// RequestID is the HTTP request the program solved under, when the call
+	// context carried one (telemetry.ContextWithRequestID); it correlates
+	// trace lines from concurrent tenants back to individual requests.
+	RequestID string `json:"request_id,omitempty"`
 
 	Candidates int  `json:"candidates"` // candidate atoms wired into this program
 	Atoms      int  `json:"atoms"`      // ground atoms

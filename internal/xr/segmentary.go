@@ -321,6 +321,9 @@ func (ex *Exchange) query(q *logic.UCQ, brave bool, opts Options) (*Result, erro
 		engine = "segmentary-brave"
 	}
 	qspan := opts.Tracer.StartSpan(telemetry.NoSpan, "query "+q.Name+" ["+engine+"]")
+	if rid := telemetry.RequestIDFromContext(ctx); rid != "" {
+		qspan.Arg("request_id", rid)
+	}
 	res := &Result{Query: q, Answers: cq.NewAnswerSet()}
 	if opts.Partial {
 		res.Unknown = cq.NewAnswerSet()
@@ -618,6 +621,7 @@ func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup
 			Query:            qname,
 			Signature:        g.sig,
 			SignatureKey:     key,
+			RequestID:        telemetry.RequestIDFromContext(ctx),
 			Candidates:       len(atoms),
 			Atoms:            out.atoms,
 			Rules:            out.rules,
@@ -754,6 +758,7 @@ func (ex *Exchange) RepairsOpts(limit int, opts Options) (repairs []*instance.In
 	if opts.Trace != nil || mt != nil {
 		ev := TraceEvent{
 			Engine:           "repairs",
+			RequestID:        telemetry.RequestIDFromContext(ctx),
 			Candidates:       len(srcVars),
 			Atoms:            enc.gp.NumAtoms(),
 			Rules:            len(enc.gp.Rules),

@@ -6,8 +6,13 @@
 # K3: 3-colorable, it is not), queries both end-to-end, and asserts the
 # exact answer bodies. Also checks the graceful-degradation contract: a
 # budget-capped request stays HTTP 200 with degraded signatures and
-# ?-marked unknowns, and saturating admission yields 429. Run via
-# `make serve-smoke`.
+# ?-marked unknowns, and saturating admission yields 429. Finally it
+# drives the request-observability chain: one correlated request whose
+# X-Request-Id shows up in the response header and body, the JSON access
+# log, /v1/slowlog, and the fetched span tree. Run via `make serve-smoke`.
+#
+# Set SMOKE_LOG to keep the daemon's JSON log at a stable path (CI
+# uploads it as a workflow artifact); it defaults to the temp workdir.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,15 +31,20 @@ trap cleanup EXIT
 fail() {
   echo "serve-smoke: FAIL: $*" >&2
   echo "--- server log ---" >&2
-  cat "$workdir/server.log" >&2 || true
+  cat "$server_log" >&2 || true
   exit 1
 }
 
 echo "serve-smoke: building xrserved"
 go build -o "$workdir/xrserved" ./cmd/xrserved
 
+server_log="${SMOKE_LOG:-$workdir/server.log}"
+: >"$server_log"
+# JSON logs + a 1ms slow-query threshold: the tricolor solves comfortably
+# exceed it, so the correlated query below lands in /v1/slowlog.
 "$workdir/xrserved" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
-  >"$workdir/server.log" 2>&1 &
+  -log-format json -slow-query 1ms \
+  >"$server_log" 2>&1 &
 server_pid=$!
 
 for _ in $(seq 1 100); do
@@ -153,14 +163,88 @@ grep -q '"frame":"unknown","mark":"?"' <<<"$stream" \
   || fail "stream lacks ?-marked unknown frame: $stream"
 grep -q '"frame":"end"' <<<"$stream" || fail "stream not terminated: $stream"
 
-# Per-tenant metrics are exposed on the same mux.
-curl -fsS "$base/metrics" | grep -q 'xr_server_queries_total{mode="certain",scenario="tri-k4"}' \
+# Per-tenant metrics are exposed on the same mux. Capture the body before
+# grepping: `curl | grep -q` races (grep exits on match, curl dies with
+# EPIPE, and pipefail turns that into a spurious failure).
+metrics=$(curl -fsS "$base/metrics")
+grep -q 'xr_server_queries_total{mode="certain",scenario="tri-k4"}' <<<"$metrics" \
   || fail "metrics missing per-tenant series"
+
+# --- Request observability: the full correlation chain off ONE request. ---
+# A single slow query must be traceable end to end by its X-Request-Id:
+# response header == response body == JSON access log == /v1/slowlog
+# entry == fetched span tree, and the RED counter increments.
+rid="smoke-corr-1"
+echo "serve-smoke: driving correlation chain as $rid"
+slow=$(curl -fsS -D "$workdir/corr_headers" -X POST -H "X-Request-Id: $rid" \
+  -d '{"name":"inAllRepairs"}' "$base/v1/scenarios/tri-k4/query?trace=1")
+grep -qi "^x-request-id: $rid" "$workdir/corr_headers" \
+  || fail "response header X-Request-Id != $rid: $(cat "$workdir/corr_headers")"
+[[ "$(jq -r '.request_id' <<<"$slow")" == "$rid" ]] \
+  || fail "response body request_id != $rid: $slow"
+[[ "$(jq '.trace | length' <<<"$slow")" -ge 1 ]] \
+  || fail "?trace=1 returned no spans: $slow"
+
+# The daemon writes its log/slowlog/trace-ring entries AFTER flushing the
+# response, so poll briefly for the log lines; fromjson? tolerates a line
+# the daemon is mid-write on. The rings are populated before their log
+# lines, so once a line is visible the matching endpoint is consistent.
+log_line() { # log_line <jq filter> — prints the last matching log object
+  local filter=$1 out
+  for _ in $(seq 1 40); do
+    out=$(jq -c -R 'fromjson? // empty' "$server_log" | jq -c "select($filter)" | tail -n 1)
+    if [[ -n "$out" ]]; then
+      printf '%s\n' "$out"
+      return 0
+    fi
+    sleep 0.05
+  done
+  return 1
+}
+
+# JSON access log: one structured line for the request, right fields.
+access=$(log_line ".msg == \"request\" and .request_id == \"$rid\"") \
+  || fail "no JSON access-log line for $rid"
+[[ "$(jq -r '.route' <<<"$access")" == "/v1/scenarios/{name}/query" ]] \
+  || fail "access log route: $access"
+[[ "$(jq -r '.tenant' <<<"$access")" == "tri-k4" ]] || fail "access log tenant: $access"
+[[ "$(jq -r '.status' <<<"$access")" == "200" ]] || fail "access log status: $access"
+[[ "$(jq '.decisions' <<<"$access")" -ge 1 ]] \
+  || fail "access log lacks per-request solver work: $access"
+
+# Slowlog: the 1ms threshold captured it (record + span tree) and the
+# WARN line fired.
+log_line ".msg == \"slow query\" and .request_id == \"$rid\"" >/dev/null \
+  || fail "no WARN slow-query log line for $rid"
+slowlog=$(curl -fsS "$base/v1/slowlog")
+entry=$(jq -c ".entries[] | select(.request_id == \"$rid\")" <<<"$slowlog")
+[[ -n "$entry" ]] || fail "/v1/slowlog has no entry for $rid: $slowlog"
+[[ "$(jq '.trace | length' <<<"$entry")" -ge 1 ]] \
+  || fail "slowlog entry lacks span tree: $entry"
+
+# Trace ring: the span tree is fetchable by request ID and stamped with it.
+trace=$(curl -fsS "$base/v1/requests/$rid/trace")
+[[ "$(jq -r '.request_id' <<<"$trace")" == "$rid" ]] || fail "trace fetch id: $trace"
+jq -e '.trace[].args[]? | select(.key == "request_id" and .value == "smoke-corr-1")' \
+  <<<"$trace" >/dev/null || fail "span tree not stamped with request id: $trace"
+
+# RED metrics: the per-route counter incremented for this tenant.
+metrics=$(curl -fsS "$base/metrics")
+grep -q 'xr_http_requests_total{code="200",route="/v1/scenarios/{name}/query",tenant="tri-k4"}' \
+  <<<"$metrics" || fail "metrics missing RED series for the query route"
+
+# Live introspection is mounted (the listing includes at least itself).
+curl -fsS "$base/v1/inflight" | jq -e '.requests | length >= 1' >/dev/null \
+  || fail "/v1/inflight empty or unreachable"
+
+# Enriched health document keeps its status-code semantics.
+curl -fsS "$base/healthz" | jq -e '.uptime_seconds >= 0 and .version != ""' >/dev/null \
+  || fail "healthz missing uptime/version"
 
 # Graceful drain: SIGTERM lets the daemon exit 0 with nothing in flight.
 kill -TERM "$server_pid"
 wait "$server_pid" || fail "daemon exited non-zero on SIGTERM"
 server_pid=""
-grep -q "drained cleanly" "$workdir/server.log" || fail "no clean-drain log line"
+grep -q "drained cleanly" "$server_log" || fail "no clean-drain log line"
 
 echo "serve-smoke: PASS"

@@ -159,6 +159,7 @@ func TestWireTraceEvent(t *testing.T) {
 		Query:            "q",
 		Signature:        []int{2, 7},
 		SignatureKey:     "2,7",
+		RequestID:        "req-0011aabb",
 		Candidates:       3,
 		Atoms:            120,
 		Rules:            240,
