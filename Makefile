@@ -2,9 +2,9 @@
 # The parallel segmentary query phase and the signature-program cache are
 # exercised concurrently by the tests, so -race is part of the gate.
 # check also builds every command so CLI-only breakage cannot slip past.
-.PHONY: check build test bench bench-smoke bench-diff lint fuzz fuzz-smoke chaos serve-smoke
+.PHONY: check build test bench bench-smoke bench-diff lint fuzz fuzz-smoke chaos serve-smoke crash
 
-check: fuzz-smoke
+check: fuzz-smoke crash
 	go build ./cmd/...
 	go vet ./...
 	go test -race ./...
@@ -52,6 +52,15 @@ fuzz-smoke:
 # the span tree), and checks graceful SIGTERM drain. Requires curl and jq.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# crash replays the crash-recovery harness under the race detector: 60
+# seed-keyed trials that kill the scenario store at every filesystem
+# injection point (including torn writes and post-crash bit rot), reboot,
+# and require byte-identical answers from every committed tenant plus a
+# quarantine — never a boot failure — for every damaged artifact.
+crash:
+	go test -race -count=1 -run 'Crash|Recover|Quarantine|Drain' \
+		./internal/store/ ./internal/server/
 
 # chaos replays the fault-injection suite (budgets, timeouts, panics,
 # cache corruption) under the race detector at high parallelism.

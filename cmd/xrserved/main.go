@@ -15,6 +15,7 @@
 //	DELETE /v1/scenarios/{name}       unload a scenario
 //	POST   /v1/scenarios/{name}/query run a query (buffered JSON or NDJSON stream)
 //	GET    /v1/scenarios/{name}/explain?query=Q[&tuple=a,b]
+//	GET    /v1/store                  persistence status (data dir, tracked/dirty/quarantined)
 //	GET    /v1/inflight               live requests (id, tenant, lanes, progress)
 //	GET    /v1/slowlog                recent slow requests (record + span tree)
 //	GET    /v1/requests/{id}/trace    span tree of a recently completed request
@@ -24,6 +25,11 @@
 // Every request carries an X-Request-Id (generated, or honored from the
 // client), echoed on the response and stamped into the access log, span
 // trees, and solver trace events — one ID correlates all of them.
+//
+// With -data-dir the daemon persists every loaded scenario to a
+// crash-safe store and rebuilds the registry from it on boot; damaged
+// snapshots are quarantined (never fatal) and reported in /healthz and
+// GET /v1/store.
 //
 // On SIGINT/SIGTERM the daemon stops admitting requests (503), lets
 // in-flight queries finish (bounded by -drain-timeout), then exits.
@@ -45,6 +51,7 @@ import (
 
 	"repro"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -67,6 +74,7 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "slow-request threshold: offenders are logged at WARN and captured in /v1/slowlog (0 = disabled)")
 		slowlogSize = flag.Int("slowlog-size", 64, "max entries retained in the /v1/slowlog ring")
 		traceRing   = flag.Int("trace-ring-size", 128, "max completed-request traces retained for /v1/requests/{id}/trace")
+		dataDir     = flag.String("data-dir", "", "persist scenarios here and recover them on boot (empty = in-memory only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -80,6 +88,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	metrics := repro.NewMetrics()
+	var st *store.Store
+	if *dataDir != "" {
+		st, err = store.Open(*dataDir, store.Options{Logger: logger, Metrics: metrics})
+		if err != nil {
+			logger.Error("opening data dir failed", "data_dir", *dataDir, "error", err.Error())
+			os.Exit(1)
+		}
+	}
+
 	srv := server.New(server.Config{
 		MaxConcurrentQueries:    *maxQueries,
 		TotalLanes:              *lanes,
@@ -91,12 +109,27 @@ func main() {
 		DefaultMaxConflicts:     *conflicts,
 		MaxScenarios:            *maxTenants,
 		MaxBodyBytes:            *maxBody,
-		Metrics:                 repro.NewMetrics(),
+		Metrics:                 metrics,
 		Logger:                  logger,
 		SlowQuery:               *slowQuery,
 		SlowLogSize:             *slowlogSize,
 		TraceRingSize:           *traceRing,
+		Store:                   st,
 	})
+
+	// Recover persisted scenarios before the listener opens, so the first
+	// request already sees the rebuilt registry. Damage never aborts boot:
+	// corrupt or unloadable artifacts are quarantined and reported.
+	if st != nil {
+		sum, err := srv.RecoverFromStore()
+		if err != nil {
+			logger.Error("scenario recovery failed", "data_dir", *dataDir, "error", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("scenario recovery complete", "data_dir", *dataDir,
+			"loaded", sum.Loaded, "adopted", sum.Adopted,
+			"quarantined", sum.Quarantined, "skipped", sum.Skipped)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -137,6 +170,10 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			logger.Error("shutdown failed", "error", err.Error())
 			os.Exit(1)
+		}
+		if st != nil {
+			// After the drain: no handler can race the final flush.
+			st.Close()
 		}
 		logger.Info("drained cleanly")
 	case err := <-errCh:

@@ -11,8 +11,9 @@
 // and exact soundness envelopes instead of merely "did not crash".
 //
 // The injection sites mirror the string constants fired by internal/xr
-// ("solve", "ground", "cache"); faultkit deliberately duplicates them so
-// the engines never import the testing harness.
+// ("solve", "ground", "cache") and internal/store ("store.write",
+// "store.sync", "store.rename", "store.read"); faultkit deliberately
+// duplicates them so the engines never import the testing harness.
 package faultkit
 
 import (
@@ -28,6 +29,16 @@ const (
 	SiteSolve  = "solve"  // before cautious/brave reasoning on a signature program
 	SiteGround = "ground" // before a signature program's base grounding
 	SiteCache  = "cache"  // on a signature-program cache hit
+)
+
+// Filesystem injection sites fired by internal/store's write protocol and
+// recovery path. The values must match the site names store passes to its
+// fault hook.
+const (
+	SiteFSWrite  = "store.write"  // before the temp file's bytes are written
+	SiteFSSync   = "store.sync"   // before an fsync (file and directory syncs both fire here)
+	SiteFSRename = "store.rename" // before the temp file renames over the final path
+	SiteFSRead   = "store.read"   // before a snapshot/manifest file is read back
 )
 
 // Kind enumerates the supported fault kinds.
@@ -48,6 +59,21 @@ const (
 	// cached signature program as corrupt; the engine must discard the
 	// entry and rebuild it with identical answers.
 	CacheCorrupt
+	// FSWriteErr returns an error at the store.write site, simulating a
+	// failed (or, with Err set to the store's short-write sentinel, torn)
+	// temp-file write.
+	FSWriteErr
+	// FSSyncErr returns an error at the store.sync site, simulating a
+	// failed fsync of the temp file or its directory.
+	FSSyncErr
+	// FSRenameErr returns an error at the store.rename site, simulating a
+	// failed atomic rename; the temp file is left behind, the final path
+	// untouched.
+	FSRenameErr
+	// FSReadCorrupt returns an error at the store.read site, simulating an
+	// unreadable snapshot or manifest during recovery; the store must
+	// quarantine the artifact instead of aborting startup.
+	FSReadCorrupt
 )
 
 // String names the kind for test output.
@@ -61,6 +87,14 @@ func (k Kind) String() string {
 		return "GroundErr"
 	case CacheCorrupt:
 		return "CacheCorrupt"
+	case FSWriteErr:
+		return "FSWriteErr"
+	case FSSyncErr:
+		return "FSSyncErr"
+	case FSRenameErr:
+		return "FSRenameErr"
+	case FSReadCorrupt:
+		return "FSReadCorrupt"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -72,6 +106,14 @@ func (k Kind) site() string {
 		return SiteGround
 	case CacheCorrupt:
 		return SiteCache
+	case FSWriteErr:
+		return SiteFSWrite
+	case FSSyncErr:
+		return SiteFSSync
+	case FSRenameErr:
+		return SiteFSRename
+	case FSReadCorrupt:
+		return SiteFSRead
 	default:
 		return SiteSolve
 	}

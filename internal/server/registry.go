@@ -57,6 +57,58 @@ type Scenario struct {
 	// declaration order for deterministic listings.
 	queries    map[string]*repro.Query
 	queryNames []string
+
+	// refMu guards the drain refcount: Registry.Acquire takes a reference
+	// for a request's whole execution, Remove marks the scenario removed,
+	// and the drained callback fires exactly once when the last reference
+	// of a removed scenario releases (immediately, if none are held). New
+	// requests 404 the moment the name leaves the registry map; in-flight
+	// ones finish against the old exchange.
+	refMu   sync.Mutex
+	refs    int
+	removed bool
+	drained func()
+}
+
+// acquire takes a drain reference. Called only while the registry lock
+// pins the scenario in the map, so acquire always precedes markRemoved's
+// drain decision for this reference.
+func (sc *Scenario) acquire() {
+	sc.refMu.Lock()
+	sc.refs++
+	sc.refMu.Unlock()
+}
+
+// release drops a drain reference, firing the drained callback when it
+// was the last one on a removed scenario.
+func (sc *Scenario) release() {
+	sc.refMu.Lock()
+	sc.refs--
+	var fire func()
+	if sc.removed && sc.refs == 0 {
+		fire, sc.drained = sc.drained, nil
+	}
+	sc.refMu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// markRemoved records the scenario as unloaded and arranges for onDrained
+// to run once the last in-flight reference releases (now, if none).
+func (sc *Scenario) markRemoved(onDrained func()) {
+	sc.refMu.Lock()
+	sc.removed = true
+	var fire func()
+	if sc.refs == 0 {
+		fire = onDrained
+	} else {
+		sc.drained = onDrained
+	}
+	sc.refMu.Unlock()
+	if fire != nil {
+		fire()
+	}
 }
 
 // newScenario parses and builds one tenant. The queries text is optional;
@@ -217,17 +269,37 @@ func (r *Registry) Get(name string) (*Scenario, error) {
 	return sc, nil
 }
 
-// Remove unloads the named scenario. In-flight queries holding the
-// *Scenario finish normally; the exchange is garbage-collected after.
-func (r *Registry) Remove(name string) error {
+// Acquire returns the named scenario holding a drain reference; the
+// caller must invoke release when done with the scenario (typically via
+// defer). The reference keeps a concurrent Remove from reporting the
+// tenant drained while this request still runs against its exchange.
+func (r *Registry) Acquire(name string) (sc *Scenario, release func(), err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sc, ok := r.scenarios[name]
+	if !ok || sc == nil {
+		return nil, nil, fmt.Errorf("%w: %q", ErrScenarioNotFound, name)
+	}
+	// Acquired under the registry lock: Remove deletes the map entry
+	// under the write lock before deciding drain, so this reference is
+	// always visible to markRemoved.
+	sc.acquire()
+	return sc, sc.release, nil
+}
+
+// Remove unloads the named scenario and returns it: new lookups 404
+// immediately, while in-flight requests holding a drain reference finish
+// normally against the old exchange. The caller wires drain completion
+// with markRemoved on the returned scenario.
+func (r *Registry) Remove(name string) (*Scenario, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	sc, ok := r.scenarios[name]
 	if !ok || sc == nil {
-		return fmt.Errorf("%w: %q", ErrScenarioNotFound, name)
+		return nil, fmt.Errorf("%w: %q", ErrScenarioNotFound, name)
 	}
 	delete(r.scenarios, name)
-	return nil
+	return sc, nil
 }
 
 // List returns the loaded scenarios sorted by name (deterministic wire

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/xr"
 )
@@ -56,6 +57,12 @@ type Config struct {
 	// (xr_server_queries_total{scenario="..."} etc.), and is exposed at
 	// /metrics on the same mux. Defaults to a fresh registry.
 	Metrics *repro.Metrics
+
+	// Store, when non-nil, persists scenarios across restarts (xrserved
+	// -data-dir): loads write behind to it, unloads delete from it, and
+	// RecoverFromStore rebuilds the registry from it at boot. Nil runs
+	// the daemon purely in-memory, exactly as before.
+	Store *store.Store
 
 	// Logger receives structured lifecycle and access-log records.
 	// Defaults to a discard logger: the library stays silent unless the
@@ -155,6 +162,7 @@ func New(cfg Config) *Server {
 	mux.Handle("DELETE /v1/scenarios/{name}", s.route("/v1/scenarios/{name}", s.handleUnload))
 	mux.Handle("POST /v1/scenarios/{name}/query", s.route("/v1/scenarios/{name}/query", s.handleQuery))
 	mux.Handle("GET /v1/scenarios/{name}/explain", s.route("/v1/scenarios/{name}/explain", s.handleExplain))
+	mux.Handle("GET /v1/store", s.route("/v1/store", s.handleStore))
 	mux.Handle("GET /v1/inflight", s.route("/v1/inflight", s.handleInflight))
 	mux.Handle("GET /v1/slowlog", s.route("/v1/slowlog", s.handleSlowlog))
 	mux.Handle("GET /v1/requests/{id}/trace", s.route("/v1/requests/{id}/trace", s.handleRequestTrace))
@@ -284,6 +292,9 @@ type HealthResponse struct {
 	Inflight      int     `json:"inflight"`
 	LanesBusy     int     `json:"lanes_busy"`
 	LanesMax      int     `json:"lanes_max"`
+	// Store summarizes the persistence layer; absent when the daemon runs
+	// without -data-dir.
+	Store *StoreHealth `json:"store,omitempty"`
 }
 
 // ErrorResponse is every non-2xx body.
@@ -303,6 +314,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Inflight:      s.group.Inflight(),
 		LanesBusy:     s.lanes.inUse(),
 		LanesMax:      s.lanes.capacity(),
+		Store:         s.storeHealth(),
 	}
 	code := http.StatusOK
 	if s.group.Draining() {
@@ -339,6 +351,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cfg.Metrics.Gauge("xr_server_scenarios").Set(int64(s.reg.Len()))
 	s.cfg.Metrics.Counter("xr_server_loads_total").Inc()
+	s.persistScenario(telemetry.RequestIDFromContext(r.Context()), &req)
 	info := sc.Info()
 	s.log.Info("scenario loaded",
 		"request_id", telemetry.RequestIDFromContext(r.Context()),
@@ -376,14 +389,19 @@ func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 	if st := stateFrom(r.Context()); st != nil {
 		st.setTenant(name)
 	}
-	if err := s.reg.Remove(name); err != nil {
+	sc, err := s.reg.Remove(name)
+	if err != nil {
 		s.writeError(w, http.StatusNotFound, name, err)
 		return
 	}
+	requestID := telemetry.RequestIDFromContext(r.Context())
+	// New requests 404 from here on; in-flight ones drain against the old
+	// exchange, and the drained callback fires when the last finishes.
+	sc.markRemoved(s.scenarioDrained(requestID, name))
+	s.forgetScenario(requestID, name)
 	s.cfg.Metrics.Gauge("xr_server_scenarios").Set(int64(s.reg.Len()))
 	s.cfg.Metrics.Counter("xr_server_unloads_total").Inc()
-	s.log.Info("scenario unloaded",
-		"request_id", telemetry.RequestIDFromContext(r.Context()), "scenario", name)
+	s.log.Info("scenario unloaded", "request_id", requestID, "scenario", name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -412,11 +430,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sc, err := s.reg.Get(scenario)
+	sc, releaseRef, err := s.reg.Acquire(scenario)
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, scenario, err)
 		return
 	}
+	defer releaseRef()
 	var req QueryRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -621,11 +640,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusTooManyRequests, scenario, errors.New("query capacity saturated"))
 		return
 	}
-	sc, err := s.reg.Get(scenario)
+	sc, releaseRef, err := s.reg.Acquire(scenario)
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, scenario, err)
 		return
 	}
+	defer releaseRef()
 	qname := r.URL.Query().Get("query")
 	if qname == "" {
 		s.writeError(w, http.StatusBadRequest, scenario, errors.New("missing ?query= (a preloaded query name)"))

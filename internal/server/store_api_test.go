@@ -1,0 +1,324 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// openTestStore opens a store over a fresh temp dir with the background
+// loop disabled (tests drive flushes explicitly).
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{RepersistInterval: -1})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
+
+func getStoreStatus(t *testing.T, base string) StoreResponse {
+	t.Helper()
+	code, body, _ := doJSON(t, http.MethodGet, base+"/v1/store", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/store: %d %s", code, body)
+	}
+	var resp StoreResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding /v1/store: %v", err)
+	}
+	return resp
+}
+
+// queryAnswers runs a preloaded query and renders the semantic answer
+// fields (tuples, unknowns, partiality) — the byte-identity contract
+// across restarts, with per-request noise (IDs, durations) stripped.
+func queryAnswers(t *testing.T, base, scenario, queryName string) string {
+	t.Helper()
+	code, body, _ := doJSON(t, http.MethodPost, base+"/v1/scenarios/"+scenario+"/query",
+		QueryRequest{Name: queryName})
+	if code != http.StatusOK {
+		t.Fatalf("query %s/%s: %d %s", scenario, queryName, code, body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding query response: %v", err)
+	}
+	out, err := json.Marshal(map[string]interface{}{
+		"tuples":  resp.Answers.Tuples,
+		"unknown": resp.Answers.Unknown,
+		"partial": resp.Partial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestRegistryDrainRefcount pins the drain protocol at the registry
+// level: the drained callback fires exactly once, only after the last
+// in-flight reference releases, and never while references are held.
+func TestRegistryDrainRefcount(t *testing.T) {
+	reg := NewRegistry(0)
+	if _, err := reg.Load("t", demoMapping, demoFacts, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	const holders = 8
+	var drained atomic.Int64
+	releases := make([]func(), 0, holders)
+	for i := 0; i < holders; i++ {
+		_, release, err := reg.Acquire("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, release)
+	}
+
+	sc, err := reg.Remove("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.markRemoved(func() { drained.Add(1) })
+
+	// Removed from the map: new acquires 404 immediately.
+	if _, _, err := reg.Acquire("t"); !errors.Is(err, ErrScenarioNotFound) {
+		t.Fatalf("Acquire after Remove: got %v, want ErrScenarioNotFound", err)
+	}
+	if got := drained.Load(); got != 0 {
+		t.Fatalf("drained fired with %d references still held", holders)
+	}
+
+	// Concurrent releases: the callback fires exactly once, after all.
+	var wg sync.WaitGroup
+	for _, release := range releases {
+		wg.Add(1)
+		go func(r func()) { defer wg.Done(); r() }(release)
+	}
+	wg.Wait()
+	if got := drained.Load(); got != 1 {
+		t.Fatalf("drained fired %d times, want exactly 1", got)
+	}
+
+	// No in-flight references: removal drains immediately.
+	if _, err := reg.Load("t2", demoMapping, demoFacts, ""); err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := reg.Remove("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	sc2.markRemoved(func() { fired = true })
+	if !fired {
+		t.Fatal("markRemoved with zero references must drain immediately")
+	}
+}
+
+// TestUnloadDrainsInflightQueries races queries against DELETE at the
+// HTTP level (run under -race by make check): every query completes with
+// 200 or 404 — never a 5xx from touching a freed tenant — and the drain
+// fires exactly once.
+func TestUnloadDrainsInflightQueries(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentQueries: 64})
+	loadScenario(t, ts.URL, "drainme", demoMapping, demoFacts, demoQueries)
+
+	const clients = 16
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			code, body, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/scenarios/drainme/query",
+				QueryRequest{Name: "q"})
+			codes[i] = code
+			if code != http.StatusOK && code != http.StatusNotFound {
+				t.Errorf("query %d: got %d %s, want 200 or 404", i, code, body)
+			}
+		}(i)
+	}
+	var delCode int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		start.Wait()
+		delCode, _, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/scenarios/drainme", nil)
+	}()
+	start.Done()
+	wg.Wait()
+
+	if delCode != http.StatusNoContent {
+		t.Fatalf("DELETE: got %d, want 204", delCode)
+	}
+	// The drain callback runs when the last reference releases, which may
+	// trail the HTTP responses by an instant.
+	counter := s.Metrics().Counter(telemetry.Labeled("xr_server_scenario_drains_total", "scenario", "drainme"))
+	deadline := time.Now().Add(2 * time.Second)
+	for counter.Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain counter = %d, want 1", counter.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, body, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/scenarios/drainme/query",
+		QueryRequest{Name: "q"}); code != http.StatusNotFound {
+		t.Fatalf("query after DELETE: got %d %s, want 404", code, body)
+	}
+}
+
+// TestStorePersistenceRoundTrip is the restart story end to end: load via
+// HTTP with a store attached, reboot a fresh server over the same data
+// dir, and the tenant answers identically with zero re-POSTs.
+func TestStorePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir, store.Options{RepersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Config{Store: st1})
+	loadScenario(t, ts1.URL, "persist-me", demoMapping, demoFacts, demoQueries)
+	want := queryAnswers(t, ts1.URL, "persist-me", "q")
+
+	sr := getStoreStatus(t, ts1.URL)
+	if !sr.Enabled || sr.Store == nil || sr.Store.Persisted != 1 || sr.Store.DataDir != dir {
+		t.Fatalf("/v1/store after load: %+v", sr)
+	}
+	var h HealthResponse
+	_, hb, _ := doJSON(t, http.MethodGet, ts1.URL+"/healthz", nil)
+	if err := json.Unmarshal(hb, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Store == nil || h.Store.Persisted != 1 || h.Store.Dirty != 0 || h.Store.DataDir != dir {
+		t.Fatalf("/healthz store block: %+v", h.Store)
+	}
+	st1.Close()
+
+	// Reboot: fresh store + server over the same directory.
+	s2, ts2 := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	sum, err := s2.RecoverFromStore()
+	if err != nil {
+		t.Fatalf("RecoverFromStore: %v", err)
+	}
+	if sum.Loaded != 1 || sum.Quarantined != 0 || sum.Skipped != 0 {
+		t.Fatalf("recovery summary: %+v", sum)
+	}
+	got := queryAnswers(t, ts2.URL, "persist-me", "q")
+	if got != want {
+		t.Fatalf("answers differ across restart:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestStoreDisabled pins the in-memory daemon's surface: /v1/store says
+// disabled and /healthz omits the store block.
+func TestStoreDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sr := getStoreStatus(t, ts.URL)
+	if sr.Enabled || sr.Store != nil {
+		t.Fatalf("/v1/store without a store: %+v", sr)
+	}
+	_, hb, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(hb, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["store"]; present {
+		t.Fatalf("/healthz carries a store block without a store: %s", hb)
+	}
+}
+
+// TestUnloadDeletesPersistedState: DELETE removes the snapshot from disk,
+// so a reboot recovers nothing and the name loads fresh.
+func TestUnloadDeletesPersistedState(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	loadScenario(t, ts1.URL, "ephemeral", demoMapping, demoFacts, demoQueries)
+	if code, body, _ := doJSON(t, http.MethodDelete, ts1.URL+"/v1/scenarios/ephemeral", nil); code != http.StatusNoContent {
+		t.Fatalf("DELETE: %d %s", code, body)
+	}
+	if sr := getStoreStatus(t, ts1.URL); sr.Store.Persisted != 0 {
+		t.Fatalf("persisted after DELETE: %+v", sr.Store)
+	}
+
+	s2, _ := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	sum, err := s2.RecoverFromStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Loaded != 0 || sum.Quarantined != 0 {
+		t.Fatalf("recovery after delete: %+v", sum)
+	}
+}
+
+// TestRecoverQuarantinesUnloadableSnapshot: a snapshot whose texts no
+// longer rebuild (storage-valid, semantically broken) is quarantined at
+// boot — the daemon starts, reports it, and the name stays loadable.
+func TestRecoverQuarantinesUnloadableSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	seed := openTestStore(t, dir)
+	if err := seed.Save(store.Snapshot{Name: "broken", Mapping: "not a mapping at all", Facts: ""}); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	s, ts := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	sum, err := s.RecoverFromStore()
+	if err != nil {
+		t.Fatalf("boot must survive an unloadable snapshot: %v", err)
+	}
+	if sum.Loaded != 0 || sum.Quarantined != 1 {
+		t.Fatalf("recovery summary: %+v", sum)
+	}
+	sr := getStoreStatus(t, ts.URL)
+	if sr.Store.Quarantined != 1 || sr.Store.Persisted != 0 {
+		t.Fatalf("/v1/store after quarantine: %+v", sr.Store)
+	}
+	if len(sr.Store.Quarantine) != 1 || sr.Store.Quarantine[0].ID == "" || sr.Store.Quarantine[0].Name != "broken" {
+		t.Fatalf("quarantine record: %+v", sr.Store.Quarantine)
+	}
+	// The name is free for a fresh, correct load.
+	loadScenario(t, ts.URL, "broken", demoMapping, demoFacts, demoQueries)
+	if got := queryAnswers(t, ts.URL, "broken", "anyGene"); len(got) == 0 {
+		t.Fatal("reloaded tenant does not answer")
+	}
+}
+
+// TestRecoverManyTenants exercises mixed recovery: several tenants saved,
+// one deleted, all survivors rebuilt with the right count.
+func TestRecoverManyTenants(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	for i := 0; i < 4; i++ {
+		loadScenario(t, ts1.URL, fmt.Sprintf("tenant-%d", i), demoMapping, demoFacts, demoQueries)
+	}
+	if code, _, _ := doJSON(t, http.MethodDelete, ts1.URL+"/v1/scenarios/tenant-2", nil); code != http.StatusNoContent {
+		t.Fatalf("DELETE tenant-2: %d", code)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	sum, err := s2.RecoverFromStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Loaded != 3 {
+		t.Fatalf("recovered %d tenants, want 3: %+v", sum.Loaded, sum)
+	}
+	for _, name := range []string{"tenant-0", "tenant-1", "tenant-3"} {
+		queryAnswers(t, ts2.URL, name, "q")
+	}
+	if code, _, _ := doJSON(t, http.MethodGet, ts2.URL+"/v1/scenarios/tenant-2", nil); code != http.StatusNotFound {
+		t.Fatalf("deleted tenant resurrected: %d", code)
+	}
+}

@@ -1,0 +1,249 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// The crash harness: every store write site is a kill point. A trial
+// saves a seed-keyed batch of scenarios with a hook that "kills the
+// process" at the k-th filesystem operation — every site at or after the
+// kill fails, exactly like a crash — then reboots (a fresh Store over the
+// same directory), recovers, and asserts:
+//
+//   - every committed scenario (Save returned nil pre-crash) is recovered
+//     and answers its queries byte-identically to the pre-crash engine;
+//   - an uncommitted scenario either vanished, was quarantined, or — when
+//     the crash fell between snapshot rename and manifest write — was
+//     adopted intact (full payload, identical answers);
+//   - recovery NEVER fails, and every damaged artifact lands in
+//     quarantine/ with a structured record.
+//
+// Seeds also steer torn writes (the partial temp file a power cut leaves)
+// and post-crash bit flips (storage rot on a committed snapshot).
+
+const crashMapping = `
+source Observed(transcript, exons).
+source Curated(transcript, exons).
+target Gene(transcript, exons).
+tgd obs: Observed(t, e) -> Gene(t, e).
+tgd cur: Curated(t, e) -> Gene(t, e).
+egd key: Gene(t, e1) & Gene(t, e2) -> e1 = e2.
+`
+
+const crashQueries = "q(t, e) :- Gene(t, e).\nanyGene() :- Gene(t, e).\n"
+
+// crashSnapshot builds one seed-keyed scenario: a few transcripts whose
+// observed/curated exon counts may conflict, so the instance is usually
+// inconsistent and the answers exercise the real XR-certain path.
+func crashSnapshot(name string, rng *rand.Rand) Snapshot {
+	var facts strings.Builder
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		fmt.Fprintf(&facts, "Observed(tx%d, %d). Curated(tx%d, %d).\n",
+			i, 1+rng.Intn(3), i, 1+rng.Intn(3))
+	}
+	return Snapshot{Name: name, Mapping: crashMapping, Facts: facts.String(), Queries: crashQueries}
+}
+
+// crashAnswers renders every query's XR-certain answers for a snapshot's
+// texts, deterministically, via the public engine API.
+func crashAnswers(t *testing.T, sn Snapshot) string {
+	t.Helper()
+	sys, err := repro.Load(sn.Mapping)
+	if err != nil {
+		t.Fatalf("%s: mapping: %v", sn.Name, err)
+	}
+	in, err := sys.ParseFacts(sn.Facts)
+	if err != nil {
+		t.Fatalf("%s: facts: %v", sn.Name, err)
+	}
+	ex, err := sys.NewExchange(in)
+	if err != nil {
+		t.Fatalf("%s: exchange: %v", sn.Name, err)
+	}
+	qs, err := sys.ParseQueries(sn.Queries)
+	if err != nil {
+		t.Fatalf("%s: queries: %v", sn.Name, err)
+	}
+	var out strings.Builder
+	for _, q := range qs {
+		ans, err := ex.Answer(q)
+		if err != nil {
+			t.Fatalf("%s: answering %s: %v", sn.Name, q.Name(), err)
+		}
+		fmt.Fprintf(&out, "%s=%v;", q.Name(), ans.Tuples)
+	}
+	return out.String()
+}
+
+// killingHook fails every store filesystem operation from the killAt-th
+// firing on (a dead process performs no further IO). When torn is set the
+// first failing write site leaves a truncated temp file behind.
+type killingHook struct {
+	killAt int
+	torn   bool
+	fired  int
+	killed bool
+}
+
+var errKilled = errors.New("crash harness: process killed here")
+
+func (h *killingHook) hook(site, key string) error {
+	n := h.fired
+	h.fired++
+	if n < h.killAt {
+		return nil
+	}
+	h.killed = true
+	if h.torn && site == SiteWrite {
+		return fmt.Errorf("%w: torn by kill", ErrShortWrite)
+	}
+	return errKilled
+}
+
+func TestCrashRecoveryHarness(t *testing.T) {
+	const (
+		trials       = 60 // ≥ 50 per the acceptance bar
+		sitesPerSave = 8  // snapshot (write, sync, rename, dirsync) + manifest (same)
+		perTrial     = 2  // scenarios saved per trial
+	)
+	for seed := 0; seed < trials; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			dir := t.TempDir()
+
+			// killAt sweeps every injection point across the trial budget,
+			// including one "no kill" slot (killAt past the last firing).
+			killAt := seed % (sitesPerSave*perTrial + 1)
+			hook := &killingHook{killAt: killAt, torn: seed%3 == 0}
+
+			s, err := Open(dir, Options{
+				FaultHook:         hook.hook,
+				RetryAttempts:     1, // a killed process does not retry
+				RetryBase:         time.Millisecond,
+				RepersistInterval: -1,
+			})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			var all []Snapshot
+			wantAnswers := make(map[string]string)
+			committed := make(map[string]bool)
+			for i := 0; i < perTrial; i++ {
+				sn := crashSnapshot(fmt.Sprintf("tenant-%d-%d", seed, i), rng)
+				all = append(all, sn)
+				wantAnswers[sn.Name] = crashAnswers(t, sn)
+				if hook.killed {
+					break // the process is dead; nothing further runs
+				}
+				if err := s.Save(sn); err == nil {
+					committed[sn.Name] = true
+				}
+			}
+			// The store is abandoned, not Closed: a kill flushes nothing.
+
+			// Post-crash storage rot: some trials flip one byte in a
+			// committed snapshot. That tenant must quarantine on boot.
+			rotted := ""
+			if seed%5 == 0 && len(committed) > 0 {
+				var names []string
+				for n := range committed {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				rotted = names[rng.Intn(len(names))]
+				path := filepath.Join(dir, scenariosDir, dirFor(rotted), snapshotFile)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("reading %s for rot: %v", path, err)
+				}
+				data[rng.Intn(len(data))] ^= 1 << uint(rng.Intn(8))
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Reboot: a fresh store over the same directory, no faults.
+			s2, err := Open(dir, Options{RepersistInterval: -1})
+			if err != nil {
+				t.Fatalf("reboot Open must never fail: %v", err)
+			}
+			defer s2.Close()
+			rep, err := s2.Recover()
+			if err != nil {
+				t.Fatalf("reboot Recover must never fail (killAt=%d): %v", killAt, err)
+			}
+
+			recovered := make(map[string]Snapshot)
+			for _, sn := range rep.Recovered {
+				recovered[sn.Name] = sn
+			}
+			quarantined := make(map[string]bool)
+			for _, rec := range rep.Quarantined {
+				if rec.ID == "" || rec.Reason == "" {
+					t.Fatalf("quarantine record lacks id/reason: %+v", rec)
+				}
+				quarantined[rec.Name] = true
+			}
+
+			for _, sn := range all {
+				got, ok := recovered[sn.Name]
+				switch {
+				case sn.Name == rotted:
+					if ok {
+						t.Fatalf("rotted tenant %s recovered instead of quarantined", sn.Name)
+					}
+					if !quarantined[sn.Name] {
+						t.Fatalf("rotted tenant %s missing from quarantine records: %+v", sn.Name, rep.Quarantined)
+					}
+					continue
+				case committed[sn.Name]:
+					if !ok {
+						t.Fatalf("committed tenant %s not recovered (killAt=%d, report=%+v)", sn.Name, killAt, rep)
+					}
+				case !ok:
+					continue // uncommitted and absent: a clean crash outcome
+				}
+				// Recovered (committed, or adopted mid-manifest-write):
+				// the payload must be intact and the answers byte-identical
+				// to the pre-crash engine.
+				if got.Mapping != sn.Mapping || got.Facts != sn.Facts || got.Queries != sn.Queries {
+					t.Fatalf("tenant %s payload differs after recovery:\n got %+v\nwant %+v", sn.Name, got, sn)
+				}
+				if a := crashAnswers(t, got); a != wantAnswers[sn.Name] {
+					t.Fatalf("tenant %s answers differ after recovery:\n got %s\nwant %s", sn.Name, a, wantAnswers[sn.Name])
+				}
+			}
+
+			// A second boot over the recovered state is always clean: the
+			// quarantine drained the damage and the manifest converged.
+			s3, err := Open(dir, Options{RepersistInterval: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s3.Close()
+			rep3, err := s3.Recover()
+			if err != nil {
+				t.Fatalf("second reboot: %v", err)
+			}
+			if len(rep3.Quarantined) != 0 || len(rep3.Adopted) != 0 {
+				t.Fatalf("second reboot not clean: %+v", rep3)
+			}
+			if len(rep3.Recovered) != len(recovered) {
+				t.Fatalf("second reboot recovered %d tenants, first recovered %d",
+					len(rep3.Recovered), len(recovered))
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The on-disk envelope shared by snapshots and the manifest: a fixed
+// header followed by a JSON payload. Every field that matters for
+// integrity is covered by the checksum, so a torn write, a truncation, or
+// a bit flip anywhere in the file is detected on read.
+//
+//	offset  0  magic    8 bytes  "XRSTORE\x00"
+//	offset  8  version  4 bytes  big-endian uint32
+//	offset 12  length   8 bytes  big-endian uint64 payload length
+//	offset 20  sha256  32 bytes  over version ‖ length ‖ payload
+//	offset 52  payload          JSON
+//
+// The checksum deliberately includes the version and length words: a
+// corrupted header cannot redirect the reader to a different (valid)
+// payload interpretation.
+
+const (
+	// CurrentVersion is the envelope version this build writes and the
+	// newest it can read. A file stamped with a later version is rejected
+	// with an error matching ErrStoreVersion — a rolled-back binary must
+	// refuse a future format rather than misparse it.
+	CurrentVersion = 1
+
+	magicLen  = 8
+	headerLen = magicLen + 4 + 8 + sha256.Size
+)
+
+var magic = [magicLen]byte{'X', 'R', 'S', 'T', 'O', 'R', 'E', 0}
+
+// Typed store errors, matched with errors.Is.
+var (
+	// ErrCorrupt reports a snapshot or manifest that failed envelope
+	// verification: bad magic, truncated header or payload, length
+	// mismatch, or checksum mismatch. During recovery a corrupt artifact
+	// is quarantined, never fatal.
+	ErrCorrupt = errors.New("store: corrupt file")
+	// ErrStoreVersion reports an envelope stamped with a version newer
+	// than CurrentVersion. The concrete error is a *VersionError.
+	ErrStoreVersion = errors.New("store: unsupported store version")
+	// ErrShortWrite is a fault-hook sentinel: a hook returning an error
+	// matching it at the store.write site makes the store leave a
+	// truncated prefix of the blob in the temp file before failing,
+	// simulating a torn write (power loss mid-write).
+	ErrShortWrite = errors.New("store: simulated short write")
+)
+
+// VersionError describes an envelope version this build cannot read. It
+// matches ErrStoreVersion under errors.Is.
+type VersionError struct {
+	Got  uint32 // version stamped in the file
+	Want uint32 // newest version this build reads (CurrentVersion)
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("store: file version %d is newer than supported version %d", e.Got, e.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrStoreVersion) hold.
+func (e *VersionError) Unwrap() error { return ErrStoreVersion }
+
+// encodeEnvelope frames payload in the checksummed envelope.
+func encodeEnvelope(payload []byte) []byte {
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf[:magicLen], magic[:])
+	binary.BigEndian.PutUint32(buf[magicLen:magicLen+4], CurrentVersion)
+	binary.BigEndian.PutUint64(buf[magicLen+4:magicLen+12], uint64(len(payload)))
+	copy(buf[headerLen:], payload)
+	h := sha256.New()
+	h.Write(buf[magicLen : magicLen+12]) // version ‖ length
+	h.Write(payload)
+	copy(buf[magicLen+12:headerLen], h.Sum(nil))
+	return buf
+}
+
+// decodeEnvelope verifies the envelope and returns the payload. Errors
+// match ErrCorrupt, except a future version which matches ErrStoreVersion.
+func decodeEnvelope(data []byte) ([]byte, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrCorrupt, len(data), headerLen)
+	}
+	if !bytes.Equal(data[:magicLen], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version := binary.BigEndian.Uint32(data[magicLen : magicLen+4])
+	if version > CurrentVersion {
+		return nil, &VersionError{Got: version, Want: CurrentVersion}
+	}
+	length := binary.BigEndian.Uint64(data[magicLen+4 : magicLen+12])
+	if length != uint64(len(data)-headerLen) {
+		return nil, fmt.Errorf("%w: header declares %d payload bytes, file carries %d", ErrCorrupt, length, len(data)-headerLen)
+	}
+	h := sha256.New()
+	h.Write(data[magicLen : magicLen+12])
+	h.Write(data[headerLen:])
+	if !bytes.Equal(h.Sum(nil), data[magicLen+12:headerLen]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return data[headerLen:], nil
+}

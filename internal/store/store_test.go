@@ -1,0 +1,592 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultkit"
+)
+
+// openTest opens a store on dir with fast retries and no background loop
+// (tests that want the loop pass their own options).
+func openTest(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	if opts.RetryAttempts == 0 {
+		opts.RetryAttempts = 2
+	}
+	if opts.RetryBase == 0 {
+		opts.RetryBase = time.Millisecond
+	}
+	if opts.RepersistInterval == 0 {
+		opts.RepersistInterval = -1
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func snap(name string) Snapshot {
+	return Snapshot{
+		Name:    name,
+		Mapping: "source S(x).\ntarget T(x).\ntgd S(x) -> T(x).\n",
+		Facts:   "S(a). S(b).\n",
+		Queries: "q(x) :- T(x).\n",
+	}
+}
+
+func recoveredNames(rep *RecoveryReport) []string {
+	var names []string
+	for _, sn := range rep.Recovered {
+		names = append(names, sn.Name)
+	}
+	return names
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte(`{"hello":"world"}`)
+	blob := encodeEnvelope(payload)
+	got, err := decodeEnvelope(blob)
+	if err != nil {
+		t.Fatalf("decodeEnvelope: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload round-trip: got %q", got)
+	}
+	// Every single-byte flip anywhere in the file must be detected.
+	for i := 0; i < len(blob); i++ {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x40
+		if _, err := decodeEnvelope(mut); err == nil {
+			t.Fatalf("bit flip at offset %d went undetected", i)
+		}
+	}
+	// Every truncation must be detected.
+	for i := 0; i < len(blob); i++ {
+		if _, err := decodeEnvelope(blob[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", i)
+		}
+	}
+}
+
+func TestEnvelopeVersionSkew(t *testing.T) {
+	blob := encodeEnvelope([]byte(`{}`))
+	// Stamp a future version and re-checksum so only the version differs.
+	binary.BigEndian.PutUint32(blob[magicLen:magicLen+4], CurrentVersion+1)
+	h := sha256.New()
+	h.Write(blob[magicLen : magicLen+12])
+	h.Write(blob[headerLen:])
+	copy(blob[magicLen+12:headerLen], h.Sum(nil))
+
+	_, err := decodeEnvelope(blob)
+	if !errors.Is(err, ErrStoreVersion) {
+		t.Fatalf("future version: err = %v, want ErrStoreVersion", err)
+	}
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != CurrentVersion+1 || ve.Want != CurrentVersion {
+		t.Fatalf("future version: err = %#v, want *VersionError{Got: %d, Want: %d}", err, CurrentVersion+1, CurrentVersion)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version skew must not report as corruption: %v", err)
+	}
+}
+
+func TestSaveRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	for _, name := range []string{"alpha", "beta"} {
+		if err := s.Save(snap(name)); err != nil {
+			t.Fatalf("Save(%s): %v", name, err)
+		}
+	}
+	st := s.Status()
+	if st.Persisted != 2 || st.Dirty != 0 || st.Quarantined != 0 {
+		t.Fatalf("status after saves = %+v", st)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(rep.Recovered) != 2 || len(rep.Quarantined) != 0 || len(rep.Adopted) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, sn := range rep.Recovered {
+		want := snap(sn.Name)
+		if sn.Mapping != want.Mapping || sn.Facts != want.Facts || sn.Queries != want.Queries {
+			t.Fatalf("recovered %s differs from saved: %+v", sn.Name, sn)
+		}
+	}
+}
+
+func TestRecoverEmptyDataDir(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	rep, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover on empty dir: %v", err)
+	}
+	if len(rep.Recovered) != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("report on empty dir = %+v", rep)
+	}
+	if st := s.Status(); st.Persisted != 0 {
+		t.Fatalf("status on empty dir = %+v", st)
+	}
+}
+
+func TestRecoverMissingSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Save(snap("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(snap("stays")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, scenariosDir, "gone")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := recoveredNames(rep); len(got) != 1 || got[0] != "stays" {
+		t.Fatalf("recovered = %v, want [stays]", got)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Name != "gone" ||
+		!strings.Contains(rep.Quarantined[0].Reason, "missing snapshot") {
+		t.Fatalf("quarantine records = %+v", rep.Quarantined)
+	}
+	if rep.Quarantined[0].ID == "" {
+		t.Fatal("quarantine record lacks an ID")
+	}
+	// The record for a missing file has nothing on disk to move.
+	if rep.Quarantined[0].Path != "" {
+		t.Fatalf("missing-snapshot record has path %q", rep.Quarantined[0].Path)
+	}
+}
+
+func TestRecoverAdoptsOrphanSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Save(snap("tracked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(snap("orphan")); err != nil {
+		t.Fatal(err)
+	}
+	// Roll the manifest back to only "tracked", simulating a crash after
+	// orphan's snapshot rename but before its manifest write.
+	var mp manifestPayload
+	blob, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := decodeEnvelope(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(payload, &mp); err != nil {
+		t.Fatal(err)
+	}
+	var kept []manifestEntry
+	for _, e := range mp.Entries {
+		if e.Name == "tracked" {
+			kept = append(kept, e)
+		}
+	}
+	rolled, err := json.Marshal(manifestPayload{Entries: kept})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), encodeEnvelope(rolled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := recoveredNames(rep); len(got) != 2 {
+		t.Fatalf("recovered = %v, want tracked + orphan", got)
+	}
+	if len(rep.Adopted) != 1 || rep.Adopted[0] != "orphan" {
+		t.Fatalf("adopted = %v, want [orphan]", rep.Adopted)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("quarantined = %+v, want none", rep.Quarantined)
+	}
+
+	// The rewritten manifest converged: a third boot adopts nothing.
+	s3 := openTest(t, dir, Options{})
+	rep3, err := s3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep3.Recovered) != 2 || len(rep3.Adopted) != 0 {
+		t.Fatalf("post-convergence report = %+v", rep3)
+	}
+}
+
+func TestRecoverDuplicateManifestEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Save(snap("twin")); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the manifest entry for the same tenant and directory.
+	blob, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := decodeEnvelope(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mp manifestPayload
+	if err := json.Unmarshal(payload, &mp); err != nil {
+		t.Fatal(err)
+	}
+	mp.Entries = append(mp.Entries, mp.Entries[0])
+	doubled, err := json.Marshal(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), encodeEnvelope(doubled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// First entry wins; the duplicate is recorded without destroying the
+	// winner's snapshot (both entries point at the same directory).
+	if got := recoveredNames(rep); len(got) != 1 || got[0] != "twin" {
+		t.Fatalf("recovered = %v, want [twin]", got)
+	}
+	if len(rep.Quarantined) != 1 || !strings.Contains(rep.Quarantined[0].Reason, "duplicate") {
+		t.Fatalf("quarantined = %+v, want one duplicate record", rep.Quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, scenariosDir, "twin", snapshotFile)); err != nil {
+		t.Fatalf("winner's snapshot was disturbed: %v", err)
+	}
+}
+
+func TestRecoverQuarantinesCorruptSnapshot(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"bitflip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-3] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("not an envelope"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"future-version", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binary.BigEndian.PutUint32(data[magicLen:magicLen+4], CurrentVersion+7)
+			h := sha256.New()
+			h.Write(data[magicLen : magicLen+12])
+			h.Write(data[headerLen:])
+			copy(data[magicLen+12:headerLen], h.Sum(nil))
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openTest(t, dir, Options{})
+			if err := s.Save(snap("victim")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save(snap("healthy")); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, filepath.Join(dir, scenariosDir, "victim", snapshotFile))
+
+			s2 := openTest(t, dir, Options{})
+			rep, err := s2.Recover()
+			if err != nil {
+				t.Fatalf("Recover must survive damage: %v", err)
+			}
+			if got := recoveredNames(rep); len(got) != 1 || got[0] != "healthy" {
+				t.Fatalf("recovered = %v, want [healthy]", got)
+			}
+			if len(rep.Quarantined) != 1 || rep.Quarantined[0].Name != "victim" {
+				t.Fatalf("quarantined = %+v", rep.Quarantined)
+			}
+			rec := rep.Quarantined[0]
+			if rec.Path == "" {
+				t.Fatal("quarantine record lacks a destination path")
+			}
+			if _, err := os.Stat(filepath.Join(dir, rec.Path)); err != nil {
+				t.Fatalf("quarantined artifact not at %s: %v", rec.Path, err)
+			}
+			if _, err := os.Stat(filepath.Join(dir, scenariosDir, "victim")); !os.IsNotExist(err) {
+				t.Fatalf("victim directory still present after quarantine (err=%v)", err)
+			}
+		})
+	}
+}
+
+func TestRecoverCorruptManifestRebuildsFromSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Save(snap("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(snap("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := recoveredNames(rep); len(got) != 2 {
+		t.Fatalf("recovered = %v, want both tenants adopted from snapshots", got)
+	}
+	if len(rep.Adopted) != 2 {
+		t.Fatalf("adopted = %v, want both", rep.Adopted)
+	}
+	if len(rep.Quarantined) != 1 || !strings.Contains(rep.Quarantined[0].Reason, "manifest") {
+		t.Fatalf("quarantined = %+v, want the manifest", rep.Quarantined)
+	}
+}
+
+func TestSaveDefersOnFaultAndBackgroundRepersists(t *testing.T) {
+	dir := t.TempDir()
+	var failures int
+	hook := func(site, key string) error {
+		// Fail the first several write attempts, then heal.
+		if site == SiteWrite && failures < 4 {
+			failures++
+			return errors.New("disk on fire")
+		}
+		return nil
+	}
+	s, err := Open(dir, Options{
+		FaultHook:         hook,
+		RetryAttempts:     2,
+		RetryBase:         time.Millisecond,
+		RepersistInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Save(snap("deferred")); err == nil {
+		t.Fatal("Save must report the deferral when all retries fail")
+	}
+	if st := s.Status(); st.Dirty != 1 || st.Persisted != 0 {
+		t.Fatalf("status after failed save = %+v", st)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Status()
+		if st.Dirty == 0 && st.Persisted == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background re-persist never caught up: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recoveredNames(rep); len(got) != 1 || got[0] != "deferred" {
+		t.Fatalf("recovered = %v, want [deferred]", got)
+	}
+}
+
+func TestShortWriteLeavesNoCommittedState(t *testing.T) {
+	dir := t.TempDir()
+	hook := func(site, key string) error {
+		if site == SiteWrite {
+			return ErrShortWrite
+		}
+		return nil
+	}
+	s := openTest(t, dir, Options{FaultHook: hook, RetryAttempts: 1})
+	if err := s.Save(snap("torn")); err == nil {
+		t.Fatal("short write must fail the save")
+	}
+	// The torn temp file exists, the final path does not.
+	sdir := filepath.Join(dir, scenariosDir, "torn")
+	if _, err := os.Stat(filepath.Join(sdir, snapshotFile+tmpSuffix)); err != nil {
+		t.Fatalf("torn temp file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(sdir, snapshotFile)); !os.IsNotExist(err) {
+		t.Fatalf("final snapshot must not exist after a torn write (err=%v)", err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("report after torn write = %+v, want empty (tmp discarded)", rep)
+	}
+	if _, err := os.Stat(filepath.Join(sdir, snapshotFile+tmpSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file survived recovery (err=%v)", err)
+	}
+}
+
+func TestDeleteRemovesPersistedState(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Save(snap("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(snap("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("doomed"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if st := s.Status(); st.Persisted != 1 {
+		t.Fatalf("status after delete = %+v", st)
+	}
+	// Deleting an untracked name is a no-op, not an error.
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatalf("Delete(untracked): %v", err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recoveredNames(rep); len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("recovered = %v, want [kept]", got)
+	}
+}
+
+func TestQuarantineAPIRemovesTenant(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Save(snap("semantically-broken")); err != nil {
+		t.Fatal(err)
+	}
+	rec := s.Quarantine("semantically-broken", errors.New("mapping no longer parses"))
+	if rec.ID == "" || rec.Name != "semantically-broken" || rec.Path == "" {
+		t.Fatalf("record = %+v", rec)
+	}
+	if st := s.Status(); st.Persisted != 0 || st.Quarantined != 1 {
+		t.Fatalf("status after quarantine = %+v", st)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 0 {
+		t.Fatalf("quarantined tenant resurrected: %+v", rep.Recovered)
+	}
+}
+
+func TestHashedDirForHostileNames(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	hostile := "../../../etc/passwd or spaces / slashes"
+	if err := s.Save(Snapshot{Name: hostile, Mapping: "m", Facts: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot landed inside scenarios/ under a hashed directory.
+	entries, err := os.ReadDir(filepath.Join(dir, scenariosDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !strings.HasPrefix(entries[0].Name(), "h-") {
+		t.Fatalf("scenarios/ = %v, want one hashed dir", entries)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 1 || rep.Recovered[0].Name != hostile {
+		t.Fatalf("recovered = %+v", rep.Recovered)
+	}
+}
+
+// TestFaultkitFSKinds proves the faultkit filesystem kinds drive the
+// store's sites end to end: a rate-1 rename fault blocks every save, and
+// the injector's Fired counter shows the runs were non-vacuous.
+func TestFaultkitFSKinds(t *testing.T) {
+	inj := faultkit.New(7, faultkit.Fault{Kind: faultkit.FSRenameErr})
+	s := openTest(t, t.TempDir(), Options{FaultHook: inj.Hook(), RetryAttempts: 1})
+	if err := s.Save(snap("blocked")); err == nil {
+		t.Fatal("rename fault must fail the save")
+	}
+	if inj.Fired(faultkit.FSRenameErr) == 0 {
+		t.Fatal("rename fault never fired")
+	}
+
+	// A seed-keyed read fault during recovery quarantines, never aborts.
+	dir := t.TempDir()
+	s2 := openTest(t, dir, Options{})
+	if err := s2.Save(snap("readable")); err != nil {
+		t.Fatal(err)
+	}
+	inj2 := faultkit.New(11, faultkit.Fault{Kind: faultkit.FSReadCorrupt, Match: "readable"})
+	s3 := openTest(t, dir, Options{FaultHook: inj2.Hook()})
+	rep, err := s3.Recover()
+	if err != nil {
+		t.Fatalf("Recover with read faults: %v", err)
+	}
+	if inj2.Fired(faultkit.FSReadCorrupt) == 0 {
+		t.Fatal("read fault never fired")
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Name != "readable" {
+		t.Fatalf("report = %+v, want the unreadable snapshot quarantined", rep)
+	}
+}

@@ -11,8 +11,17 @@
 # X-Request-Id shows up in the response header and body, the JSON access
 # log, /v1/slowlog, and the fetched span tree. Run via `make serve-smoke`.
 #
+# The script then exercises crash-safe persistence: the daemon runs with
+# -data-dir, so a SIGTERM + reboot over the same directory must bring both
+# tenants back with zero re-POSTs and identical answers; corrupting one
+# snapshot in place must still boot, with exactly one tenant quarantined
+# (reported in /v1/store, /healthz, and an ERROR log line) and the name
+# free for a fresh load.
+#
 # Set SMOKE_LOG to keep the daemon's JSON log at a stable path (CI
 # uploads it as a workflow artifact); it defaults to the temp workdir.
+# SMOKE_DATA_DIR likewise pins the persistence directory (uploaded on
+# failure); it defaults to the temp workdir too.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,22 +48,42 @@ echo "serve-smoke: building xrserved"
 go build -o "$workdir/xrserved" ./cmd/xrserved
 
 server_log="${SMOKE_LOG:-$workdir/server.log}"
+data_dir="${SMOKE_DATA_DIR:-$workdir/data}"
 : >"$server_log"
-# JSON logs + a 1ms slow-query threshold: the tricolor solves comfortably
-# exceed it, so the correlated query below lands in /v1/slowlog.
-"$workdir/xrserved" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
-  -log-format json -slow-query 1ms \
-  >"$server_log" 2>&1 &
-server_pid=$!
 
-for _ in $(seq 1 100); do
-  [[ -s "$workdir/addr" ]] && break
-  kill -0 "$server_pid" 2>/dev/null || fail "daemon exited before listening"
-  sleep 0.1
-done
-[[ -s "$workdir/addr" ]] || fail "daemon never wrote -addr-file"
-base="http://$(cat "$workdir/addr")"
-echo "serve-smoke: daemon at $base"
+# start_daemon boots xrserved over the shared data dir and appends to the
+# shared log; stop_daemon SIGTERMs and asserts a clean drain. Every boot
+# in this script goes through the same pair, so the restart legs exercise
+# exactly the production lifecycle.
+drains=0
+start_daemon() {
+  : >"$workdir/addr"
+  # JSON logs + a 1ms slow-query threshold: the tricolor solves comfortably
+  # exceed it, so the correlated query below lands in /v1/slowlog.
+  "$workdir/xrserved" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    -log-format json -slow-query 1ms -data-dir "$data_dir" \
+    >>"$server_log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$workdir/addr" ]] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.1
+  done
+  [[ -s "$workdir/addr" ]] || fail "daemon never wrote -addr-file"
+  base="http://$(cat "$workdir/addr")"
+}
+
+stop_daemon() {
+  kill -TERM "$server_pid"
+  wait "$server_pid" || fail "daemon exited non-zero on SIGTERM"
+  server_pid=""
+  drains=$((drains + 1))
+  [[ "$(grep -c "drained cleanly" "$server_log")" == "$drains" ]] \
+    || fail "missing clean-drain log line for boot $drains"
+}
+
+start_daemon
+echo "serve-smoke: daemon at $base (data dir $data_dir)"
 
 curl -fsS "$base/healthz" >/dev/null || fail "healthz unreachable"
 
@@ -241,10 +270,66 @@ curl -fsS "$base/v1/inflight" | jq -e '.requests | length >= 1' >/dev/null \
 curl -fsS "$base/healthz" | jq -e '.uptime_seconds >= 0 and .version != ""' >/dev/null \
   || fail "healthz missing uptime/version"
 
+# Both tenants persisted to the data dir.
+curl -fsS "$base/v1/store" | jq -e '.enabled and .store.persisted == 2 and .store.dirty == 0' \
+  >/dev/null || fail "/v1/store does not track both tenants"
+
 # Graceful drain: SIGTERM lets the daemon exit 0 with nothing in flight.
-kill -TERM "$server_pid"
-wait "$server_pid" || fail "daemon exited non-zero on SIGTERM"
-server_pid=""
-grep -q "drained cleanly" "$server_log" || fail "no clean-drain log line"
+stop_daemon
+
+# --- Crash-safe persistence: reboot over the same data dir. Both tenants
+# must come back with ZERO re-POSTs and answer identically. ---
+echo "serve-smoke: rebooting from $data_dir"
+start_daemon
+count=$(curl -fsS "$base/v1/scenarios" | jq '.scenarios | length')
+[[ "$count" == "2" ]] || fail "after restart scenario count = $count, want 2 (no re-POSTs)"
+q4r=$(curl -fsS -X POST -d '{"name":"inAllRepairs"}' "$base/v1/scenarios/tri-k4/query")
+[[ "$(jq -c '.answers.tuples' <<<"$q4r")" == "$(jq -c '.answers.tuples' <<<"$q4")" ]] \
+  || fail "tri-k4 answers differ after restart: $q4r"
+q3r=$(curl -fsS -X POST -d '{"name":"inAllRepairs"}' "$base/v1/scenarios/tri-k3/query")
+[[ "$(jq -c '.answers.tuples' <<<"$q3r")" == "$(jq -c '.answers.tuples' <<<"$q3")" ]] \
+  || fail "tri-k3 answers differ after restart: $q3r"
+curl -fsS "$base/v1/store" | jq -e '.store.persisted == 2 and .store.quarantined == 0' \
+  >/dev/null || fail "/v1/store wrong after restart"
+curl -fsS "$base/healthz" | jq -e '.store.persisted == 2 and .store.data_dir != ""' \
+  >/dev/null || fail "healthz store block wrong after restart"
+grep -q '"msg":"scenario recovery complete"' "$server_log" \
+  || fail "no recovery summary log line"
+stop_daemon
+
+# --- Corruption: damage one snapshot in place. Boot must still succeed,
+# quarantining exactly that tenant and leaving the name loadable. ---
+snap="$data_dir/scenarios/tri-k3/snapshot.xr"
+[[ -f "$snap" ]] || fail "expected snapshot at $snap"
+echo "serve-smoke: corrupting $snap in place"
+printf 'ROTROTROT' | dd of="$snap" bs=1 seek=100 conv=notrunc status=none
+start_daemon
+count=$(curl -fsS "$base/v1/scenarios" | jq '.scenarios | length')
+[[ "$count" == "1" ]] || fail "after corruption scenario count = $count, want 1"
+store=$(curl -fsS "$base/v1/store")
+jq -e '.store.persisted == 1 and .store.quarantined == 1' <<<"$store" >/dev/null \
+  || fail "/v1/store after corruption: $store"
+jq -e '.store.quarantine | length == 1 and .[0].name == "tri-k3" and .[0].id != ""' \
+  <<<"$store" >/dev/null || fail "quarantine record wrong: $store"
+curl -fsS "$base/healthz" | jq -e '.store.quarantined == 1' >/dev/null \
+  || fail "healthz does not report the quarantine"
+jq -c -R 'fromjson? // empty' "$server_log" \
+  | jq -se 'map(select(.msg == "scenario quarantined" and .level == "ERROR" and .request_id != "")) | length >= 1' \
+  >/dev/null || fail "no structured ERROR line for the quarantine"
+# The healthy tenant still answers; the damaged one 404s but loads fresh.
+q4c=$(curl -fsS -X POST -d '{"name":"inAllRepairs"}' "$base/v1/scenarios/tri-k4/query")
+[[ "$(jq -c '.answers.tuples' <<<"$q4c")" == "[[]]" ]] \
+  || fail "tri-k4 broken by sibling corruption: $q4c"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"name":"inAllRepairs"}' \
+  "$base/v1/scenarios/tri-k3/query")
+[[ "$code" == "404" ]] || fail "quarantined tenant served $code, want 404"
+curl -fsS -X POST -d @"$workdir/k3.json" "$base/v1/scenarios" >/dev/null \
+  || fail "re-loading the quarantined tenant name"
+q3c=$(curl -fsS -X POST -d '{"name":"inAllRepairs"}' "$base/v1/scenarios/tri-k3/query")
+[[ "$(jq -c '.answers.tuples' <<<"$q3c")" == "[]" ]] \
+  || fail "re-loaded tri-k3 answers wrong: $q3c"
+curl -fsS "$base/v1/store" | jq -e '.store.persisted == 2' >/dev/null \
+  || fail "re-loaded tenant not re-persisted"
+stop_daemon
 
 echo "serve-smoke: PASS"
