@@ -36,6 +36,7 @@ bench-diff:
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=30s ./internal/asp/
 	go test -fuzz=FuzzGround -fuzztime=30s ./internal/asp/
+	go test -fuzz=FuzzAssumptions -fuzztime=30s ./internal/asp/
 	go test -fuzz=FuzzParseMapping -fuzztime=30s ./internal/parser/
 	go test -fuzz=FuzzParseFacts -fuzztime=30s ./internal/parser/
 	go test -fuzz=FuzzParseQueries -fuzztime=30s ./internal/parser/
@@ -43,6 +44,7 @@ fuzz:
 fuzz-smoke:
 	go test -fuzz=FuzzParse -fuzztime=5s ./internal/asp/
 	go test -fuzz=FuzzGround -fuzztime=5s ./internal/asp/
+	go test -fuzz=FuzzAssumptions -fuzztime=5s ./internal/asp/
 
 # serve-smoke boots the xrserved daemon on an ephemeral port, loads two
 # tricolor scenarios concurrently, queries both end-to-end (asserting the

@@ -1,0 +1,117 @@
+package asp
+
+import (
+	"testing"
+)
+
+// fuzzNVars bounds the CNF universe: small enough that every fuzz
+// execution is instant, large enough for non-trivial conflict analysis.
+const fuzzNVars = 6
+
+// decodeLits maps raw bytes to literals over fuzzNVars variables, keeping
+// the first occurrence of each variable so the result is a consistent
+// (non-tautological) literal set when used as assumptions.
+func decodeLits(data []byte, max int, consistent bool) []Lit {
+	seen := make(map[Var]bool, max)
+	out := make([]Lit, 0, max)
+	for _, b := range data {
+		if len(out) >= max {
+			break
+		}
+		v := Var(1 + int(b)%fuzzNVars) // vars are 1-based; 0 is reserved
+		if consistent {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+		}
+		if (int(b)/fuzzNVars)%2 == 0 {
+			out = append(out, PosLit(v))
+		} else {
+			out = append(out, NegLit(v))
+		}
+	}
+	return out
+}
+
+// fuzzSolver builds a solver over fuzzNVars variables with the clauses
+// encoded in data (3 bytes per clause) plus the given unit clauses. The
+// second result is false when the units already contradict at level 0.
+func fuzzSolver(data []byte, units []Lit) (*Solver, bool) {
+	s := NewSolver()
+	for i := 0; i < fuzzNVars; i++ {
+		s.NewVar()
+	}
+	ok := true
+	for i := 0; i+3 <= len(data) && i < 3*24; i += 3 {
+		ok = s.AddClause(decodeLits(data[i:i+3], 3, false)...) && ok
+	}
+	for _, u := range units {
+		ok = s.AddClause(u) && ok
+	}
+	return s, ok
+}
+
+// FuzzAssumptions cross-checks SolveUnderAssumptions against the ground
+// truth of a fresh solver with the assumptions baked in as unit clauses:
+//
+//  1. sat/unsat must agree between the two;
+//  2. on unsat, FailedAssumptions must be a sufficient subset — baking
+//     only the failed assumptions into a fresh solver stays unsat;
+//  3. the incremental solver must remain reusable: a follow-up
+//     assumption-free Solve must agree with a fresh solve of the bare
+//     clauses (level-0 restoration, learnt clauses stay legal).
+func FuzzAssumptions(f *testing.F) {
+	f.Add([]byte{0, 7, 14, 1, 8, 15}, []byte{0, 1})
+	f.Add([]byte{0, 6, 0, 1, 7, 1, 2, 8, 2}, []byte{0, 7, 2})
+	f.Add([]byte{3, 9, 4, 10, 5, 11}, []byte{})
+	f.Add([]byte{}, []byte{0, 6})
+	f.Fuzz(func(t *testing.T, clauses []byte, assumpBytes []byte) {
+		if len(clauses) > 96 || len(assumpBytes) > 16 {
+			return
+		}
+		assumps := decodeLits(assumpBytes, 4, true)
+
+		inc, okInc := fuzzSolver(clauses, nil)
+		if !okInc {
+			return // clauses alone are level-0 unsat; nothing to compare
+		}
+		got := inc.SolveUnderAssumptions(assumps)
+
+		ref, okRef := fuzzSolver(clauses, assumps)
+		want := okRef && ref.Solve()
+		if got != want {
+			t.Fatalf("SolveUnderAssumptions=%v, fresh solve with units=%v (clauses=%v assumps=%v)",
+				got, want, clauses, assumps)
+		}
+
+		if !got {
+			failed := inc.FailedAssumptions()
+			inSet := make(map[Lit]bool, len(assumps))
+			for _, a := range assumps {
+				inSet[a] = true
+			}
+			for _, l := range failed {
+				if !inSet[l] {
+					t.Fatalf("failed assumption %v not among assumptions %v", l, assumps)
+				}
+			}
+			sub, okSub := fuzzSolver(clauses, failed)
+			if okSub && sub.Solve() {
+				t.Fatalf("failed assumptions %v are not a sufficient unsat core (assumps=%v)",
+					failed, assumps)
+			}
+		}
+
+		// Reusability after the assumption solve: the incremental solver,
+		// back at level 0, must agree with a fresh solver on the bare
+		// clauses — under assumptions again, and with none.
+		if inc.SolveUnderAssumptions(assumps) != got {
+			t.Fatalf("repeated assumption solve flipped from %v", got)
+		}
+		fresh, _ := fuzzSolver(clauses, nil)
+		if inc.Solve() != fresh.Solve() {
+			t.Fatal("assumption-free solve after assumption solve diverges from fresh solver")
+		}
+	})
+}

@@ -9,6 +9,7 @@ package asp
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync/atomic"
 )
 
@@ -60,6 +61,7 @@ type clause struct {
 	lits    []Lit
 	learnt  bool
 	act     float64
+	lbd     int32 // literal-block distance at learn time (0 for problem clauses)
 	deleted bool
 }
 
@@ -97,22 +99,42 @@ type Solver struct {
 	cancel *atomic.Bool    // cooperative cancellation; nil = never
 	ctx    context.Context // context-based cancellation; nil = never
 
-	// Budget: cooperative effort limits over the cumulative Decisions and
-	// Conflicts counters (0 = unlimited). Crossing a limit sets exhausted
-	// and makes in-flight and future Solve calls return false promptly.
-	// Unlike wall-clock timeouts the cutoff point is a deterministic,
+	// lbdSeen/lbdTick stamp decision levels while computing the LBD of a
+	// freshly learnt clause, avoiding a per-conflict allocation.
+	lbdSeen []int64
+	lbdTick int64
+
+	// maxLearnts is the clause-database reduction trigger: once the learnt
+	// store crosses it, reduceDB deletes the worst half of the removable
+	// clauses and the trigger grows geometrically. Persistent solvers would
+	// otherwise accumulate learnt clauses without bound.
+	maxLearnts int
+
+	// conflictAssumps is the failed-assumption set from the last
+	// unsatisfiable SolveUnderAssumptions call (see FailedAssumptions).
+	conflictAssumps []Lit
+
+	// Budget: cooperative effort limits over the Decisions and Conflicts
+	// counters, measured relative to the SetBudget call (0 = unlimited).
+	// Crossing a limit sets exhausted and makes in-flight and future Solve
+	// calls return false promptly until the budget is re-armed. Unlike
+	// wall-clock timeouts the cutoff point is a deterministic,
 	// machine-independent function of the clause database.
-	maxDecisions, maxConflicts int64
-	exhausted                  bool
+	maxDecisions, maxConflicts   int64
+	baseDecisions, baseConflicts int64
+	exhausted                    bool
 
 	// Stats. Restarts counts Luby budget renewals after the initial one of
-	// each Solve call (i.e. genuine search restarts).
+	// each Solve call (i.e. genuine search restarts). AssumptionSolves
+	// counts Solve calls made under at least one assumption; Reductions and
+	// ClausesDeleted track clause-database reduction work.
 	Conflicts, Decisions, Propagations, Restarts int64
+	AssumptionSolves, ClausesDeleted, Reductions int64
 }
 
 // NewSolver returns an empty solver.
 func NewSolver() *Solver {
-	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s := &Solver{varInc: 1, claInc: 1, ok: true, maxLearnts: 4000}
 	// Var 0 is unused; keep slots so indexing is direct.
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
@@ -308,6 +330,16 @@ func (s *Solver) bumpVar(v Var) {
 	s.heap.update(v)
 }
 
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
 func (s *Solver) decayActivities() {
 	s.varInc /= 0.95
 	s.claInc /= 0.999
@@ -322,6 +354,9 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	idx := len(s.trail) - 1
 
 	for {
+		if confl.learnt {
+			s.bumpClause(confl)
+		}
 		for _, q := range confl.lits {
 			if p != -1 && q == p {
 				continue
@@ -371,40 +406,72 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	return learnt, btLevel
 }
 
+// clauseLBD computes the literal-block distance of a freshly learnt
+// clause: the number of distinct decision levels among its literals.
+// Low-LBD ("glue") clauses connect few levels and are empirically the
+// learnt clauses worth keeping forever.
+func (s *Solver) clauseLBD(lits []Lit) int32 {
+	s.lbdTick++
+	var lbd int32
+	for _, l := range lits {
+		lv := int(s.level[l.Var()])
+		for len(s.lbdSeen) <= lv {
+			s.lbdSeen = append(s.lbdSeen, 0)
+		}
+		if s.lbdSeen[lv] != s.lbdTick {
+			s.lbdSeen[lv] = s.lbdTick
+			lbd++
+		}
+	}
+	return lbd
+}
+
 func (s *Solver) recordLearnt(lits []Lit) {
 	if len(lits) == 1 {
 		s.enqueue(lits[0], nil)
 		return
 	}
-	c := &clause{lits: lits, learnt: true, act: s.claInc}
+	c := &clause{lits: lits, learnt: true, act: s.claInc, lbd: s.clauseLBD(lits)}
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
 	s.enqueue(lits[0], c)
 }
 
+// reduceDB bounds the learnt-clause store. Once it crosses maxLearnts,
+// the removable clauses — long, unlocked, non-glue — are stably sorted
+// worst-first (highest LBD, then lowest activity, then insertion order,
+// so the choice is deterministic) and the worst half is deleted. Glue
+// clauses (LBD <= 2), binary clauses, and clauses currently acting as a
+// propagation reason are always kept. The trigger then grows
+// geometrically so long runs settle into a bounded steady state.
 func (s *Solver) reduceDB() {
-	if len(s.learnts) < 4000 {
+	if len(s.learnts) < s.maxLearnts {
 		return
 	}
-	// Drop the least active half of long learnt clauses.
-	type entry struct {
-		c *clause
-	}
-	var long []*clause
+	removable := make([]*clause, 0, len(s.learnts))
 	for _, c := range s.learnts {
-		if len(c.lits) > 2 && !c.locked(s) {
-			long = append(long, c)
+		if len(c.lits) > 2 && c.lbd > 2 && !c.locked(s) {
+			removable = append(removable, c)
 		}
 	}
-	if len(long) < 100 {
+	if len(removable) < 100 {
+		// Nearly everything is protected; grow the trigger instead of
+		// thrashing on every conflict.
+		s.maxLearnts += s.maxLearnts / 10
 		return
 	}
-	// Partial selection: mark lowest-activity half as deleted.
-	// Simple threshold on median via sampling is overkill; sort.
-	sortClausesByAct(long)
-	for _, c := range long[:len(long)/2] {
+	s.Reductions++
+	sort.SliceStable(removable, func(i, j int) bool {
+		if removable[i].lbd != removable[j].lbd {
+			return removable[i].lbd > removable[j].lbd
+		}
+		return removable[i].act < removable[j].act
+	})
+	drop := removable[:len(removable)/2]
+	for _, c := range drop {
 		c.deleted = true
 	}
+	s.ClausesDeleted += int64(len(drop))
 	kept := s.learnts[:0]
 	for _, c := range s.learnts {
 		if !c.deleted {
@@ -412,6 +479,7 @@ func (s *Solver) reduceDB() {
 		}
 	}
 	s.learnts = kept
+	s.maxLearnts += s.maxLearnts / 10
 }
 
 func (c *clause) locked(s *Solver) bool {
@@ -419,13 +487,49 @@ func (c *clause) locked(s *Solver) bool {
 	return s.reason[v] == c && s.assign[v] != lUndef
 }
 
-func sortClausesByAct(cs []*clause) {
-	// insertion-free: simple sort
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && cs[j].act < cs[j-1].act; j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
+// Simplify removes clauses satisfied by the level-0 trail, reclaiming
+// retired incremental sessions (clauses guarded by an activation literal
+// become satisfied once the guard's negation is asserted as a unit). It
+// must be called at decision level 0 and returns false if the solver is
+// already in a top-level conflict.
+func (s *Solver) Simplify() bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("asp: Simplify while not at decision level 0")
+	}
+	if s.propagate() != nil {
+		s.ok = false
+		return false
+	}
+	s.removeSatisfied(&s.learnts)
+	s.removeSatisfied(&s.clauses)
+	return true
+}
+
+func (s *Solver) removeSatisfied(list *[]*clause) {
+	kept := (*list)[:0]
+	for _, c := range *list {
+		sat := false
+		for _, l := range c.lits {
+			if s.valueLit(l) == lTrue && s.level[l.Var()] == 0 {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			kept = append(kept, c)
+			continue
+		}
+		c.deleted = true
+		// Level-0 assignments are never resolved on, so dropping the
+		// reason pointer of a satisfied reason clause is safe.
+		if v := c.lits[0].Var(); s.reason[v] == c {
+			s.reason[v] = nil
 		}
 	}
+	*list = kept
 }
 
 // luby computes the Luby restart sequence value for index i (1-based).
@@ -461,21 +565,27 @@ func (s *Solver) Canceled() bool {
 	return s.ctx != nil && s.ctx.Err() != nil
 }
 
-// SetBudget installs effort limits on the cumulative Decisions and
-// Conflicts counters (0 = unlimited). Once either limit is reached,
-// in-flight and future Solve calls return false promptly; check Exhausted
-// to distinguish budget exhaustion from unsatisfiability. Budgets count
-// across all Solve calls of the solver's lifetime, so a limit bounds the
-// total effort of an enumeration or cautious-reasoning session, not a
-// single search.
+// SetBudget installs effort limits on the Decisions and Conflicts
+// counters, measured from the moment of the call (0 = unlimited). Once
+// either limit is reached, in-flight and future Solve calls return false
+// promptly; check Exhausted to distinguish budget exhaustion from
+// unsatisfiability. The budget spans all Solve calls until the next
+// SetBudget, so a limit bounds the total effort of an enumeration or
+// cautious-reasoning session, not a single search. Re-arming clears the
+// Exhausted latch — this is what lets a persistent solver grant each
+// incremental session a fresh budget.
 func (s *Solver) SetBudget(maxDecisions, maxConflicts int64) {
 	s.maxDecisions = maxDecisions
 	s.maxConflicts = maxConflicts
+	s.baseDecisions = s.Decisions
+	s.baseConflicts = s.Conflicts
+	s.exhausted = false
 }
 
-// Exhausted reports whether a SetBudget limit was reached. It is sticky:
-// once set, every later Solve call returns false, and any result derived
-// from the interrupted search must be discarded by the caller.
+// Exhausted reports whether a SetBudget limit was reached. It is sticky
+// until the budget is re-armed: every later Solve call returns false, and
+// any result derived from the interrupted search must be discarded by the
+// caller.
 func (s *Solver) Exhausted() bool { return s.exhausted }
 
 // overBudget checks the budget limits (cheap integer compares, safe to run
@@ -484,8 +594,8 @@ func (s *Solver) overBudget() bool {
 	if s.exhausted {
 		return true
 	}
-	if (s.maxDecisions > 0 && s.Decisions >= s.maxDecisions) ||
-		(s.maxConflicts > 0 && s.Conflicts >= s.maxConflicts) {
+	if (s.maxDecisions > 0 && s.Decisions-s.baseDecisions >= s.maxDecisions) ||
+		(s.maxConflicts > 0 && s.Conflicts-s.baseConflicts >= s.maxConflicts) {
 		s.exhausted = true
 		return true
 	}
@@ -497,8 +607,28 @@ func (s *Solver) overBudget() bool {
 // under the assumptions (or the solver was cancelled). The solver
 // backtracks to level 0 before returning.
 func (s *Solver) Solve(assumptions ...Lit) bool {
+	return s.SolveUnderAssumptions(assumptions)
+}
+
+// SolveUnderAssumptions searches for a model with every literal in
+// assumps held true. Assumptions are placed as decisions at levels
+// 1..len(assumps) rather than added as unit clauses, so learnt clauses
+// derived under them are ordinary resolvents of the clause database: any
+// dependence on an assumption shows up as that assumption's negation
+// inside the learnt clause, which keeps every learnt clause valid for
+// future calls under different assumptions. On an assumption-level
+// failure the final-conflict analysis records which assumptions were
+// jointly responsible (FailedAssumptions); the solver itself stays
+// consistent and reusable. The solver backtracks to level 0 before
+// returning, so calls can alternate assumption sets indefinitely without
+// teardown.
+func (s *Solver) SolveUnderAssumptions(assumps []Lit) bool {
+	s.conflictAssumps = s.conflictAssumps[:0]
 	if !s.ok {
 		return false
+	}
+	if len(assumps) > 0 {
+		s.AssumptionSolves++
 	}
 	defer s.cancelUntil(0)
 
@@ -521,7 +651,10 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 				s.Restarts++
 			}
 			conflictsLeft = 100 * luby(restart)
-			s.cancelUntil(0)
+			// Assumption-aware restart: back off to the assumption prefix
+			// instead of level 0, keeping the assumptions (and everything
+			// they propagate) in place across restarts.
+			s.cancelUntil(len(assumps))
 		}
 		confl := s.propagate()
 		if confl != nil {
@@ -532,21 +665,23 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 				return false
 			}
 			learnt, btLevel := s.analyze(confl)
-			// Never backtrack past assumptions: if the asserting level is
-			// inside the assumption prefix we handle it by re-deciding.
+			// The asserting level may sit inside the assumption prefix;
+			// backtracking there cancels later assumptions, which the
+			// placement loop below simply re-places.
 			s.cancelUntil(btLevel)
 			s.recordLearnt(learnt)
 			s.decayActivities()
 			continue
 		}
 		// Place assumptions as decisions.
-		if s.decisionLevel() < len(assumptions) {
-			a := assumptions[s.decisionLevel()]
+		if s.decisionLevel() < len(assumps) {
+			a := assumps[s.decisionLevel()]
 			switch s.valueLit(a) {
 			case lTrue:
 				s.newDecisionLevel() // dummy level to keep indexing aligned
 				continue
 			case lFalse:
+				s.analyzeFinal(a)
 				return false
 			}
 			s.newDecisionLevel()
@@ -574,6 +709,48 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 	return model
 }
 
+// analyzeFinal runs final-conflict analysis for a failed assumption a
+// (one whose negation is already forced when the placement loop reaches
+// it): walking reasons backward from ¬a, it collects the subset of
+// earlier assumption decisions that participated in forcing ¬a. The
+// result — a together with those assumptions — is stored for
+// FailedAssumptions. Unlike regular conflict analysis nothing is learnt
+// here: the incompatibility is already implied by the clause database
+// plus the assumption prefix, so no clause mentioning assumption
+// literals needs to be (or is) added.
+func (s *Solver) analyzeFinal(a Lit) {
+	s.conflictAssumps = append(s.conflictAssumps[:0], a)
+	if s.decisionLevel() == 0 {
+		return // ¬a holds at the top level; a alone is the conflict
+	}
+	s.seen[a.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			// A decision above level 0 inside the placement loop is an
+			// assumption; record it as part of the incompatible set.
+			s.conflictAssumps = append(s.conflictAssumps, s.trail[i])
+		} else {
+			for _, q := range s.reason[v].lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[a.Var()] = false
+}
+
+// FailedAssumptions returns the subset of the assumptions passed to the
+// last SolveUnderAssumptions call found jointly incompatible with the
+// clause database (empty when the last call was satisfiable or failed
+// for a non-assumption reason). The slice is reused across calls.
+func (s *Solver) FailedAssumptions() []Lit { return s.conflictAssumps }
+
 func (s *Solver) pickBranchVar() Var {
 	for s.heap.size() > 0 {
 		v := s.heap.pop()
@@ -588,7 +765,9 @@ func (s *Solver) pickBranchVar() Var {
 type modelSnapshot []lbool
 
 func (s *Solver) saveModel() {
-	if s.model == nil {
+	// Variables added since the last solve (incremental Extend) grow assign
+	// past the snapshot; reallocate rather than copy a truncated prefix.
+	if len(s.model) < len(s.assign) {
 		s.model = make(modelSnapshot, len(s.assign))
 	}
 	copy(s.model, s.assign)

@@ -58,8 +58,27 @@ type StableSolver struct {
 	normal bool
 	// negAtoms lists the atoms occurring in some negative body; the reduct
 	// (and hence the unique stable-model candidate) is a function of a
-	// model's values on exactly these atoms.
+	// model's values on exactly these atoms. negSeen mirrors it as a set so
+	// Extend can keep it deduplicated across program growth.
 	negAtoms []AtomID
+	negSeen  map[AtomID]bool
+
+	// isFact / nFacts track which atoms were asserted as facts and how many
+	// fact entries have been translated, so Extend can pick up program
+	// growth (new atoms, rules, and facts) incrementally.
+	isFact []bool
+	nFacts int
+
+	// assumps holds solver-lifetime assumptions (SetAssumptions): they are
+	// threaded into every candidate search, and any blocking clause that is
+	// only sound relative to them is added permanently — which is why they
+	// are reserved for one-shot solvers (cmd/aspsolve). Incremental callers
+	// use Sessions instead.
+	assumps []AtomAssumption
+
+	// retired counts closed sessions since the last Simplify; every few
+	// closures the satisfied (deactivated) session clauses are reclaimed.
+	retired int
 
 	// Acceptor, when set, implements lazy theory checking: each stable
 	// model is passed to it before being returned. A nil result accepts the
@@ -125,32 +144,59 @@ const maxLoopFormulaSize = 100_000
 // clauses). The returned solver accumulates blocking clauses; enumeration
 // and cautious calls consume it.
 func NewStableSolver(prog *GroundProgram) *StableSolver {
-	s := &StableSolver{prog: prog, sat: NewSolver(), normal: true}
-	negSeen := make(map[AtomID]bool)
-	for _, r := range prog.Rules {
+	s := &StableSolver{prog: prog, sat: NewSolver(), normal: true, negSeen: make(map[AtomID]bool)}
+	s.extend(0, 0)
+	return s
+}
+
+// Extend incorporates program growth into a live solver: atoms, rules,
+// and facts appended to the ground program since the last build are
+// translated (fresh SAT vars, rule clauses, fact units, and support
+// clauses for the new atoms). New rules must head only new atoms — an
+// old atom's support clause is already frozen, so giving it a new rule
+// would silently lose the completion direction. This is what lets a
+// persistent per-signature solver take on additional candidate atoms
+// without being rebuilt.
+func (s *StableSolver) Extend() {
+	if s.sat.decisionLevel() != 0 {
+		panic("asp: Extend while not at decision level 0")
+	}
+	s.extend(len(s.vars), len(s.bodyAux))
+}
+
+func (s *StableSolver) extend(fromAtom, fromRule int) {
+	prog := s.prog
+	for ri := fromRule; ri < len(prog.Rules); ri++ {
+		r := &prog.Rules[ri]
 		if len(r.Head) > 1 {
 			s.normal = false
 		}
+		for _, h := range r.Head {
+			if int(h) < fromAtom {
+				panic("asp: Extend with a rule heading a pre-existing atom")
+			}
+		}
 		for _, g := range r.Neg {
-			if !negSeen[g] {
-				negSeen[g] = true
+			if !s.negSeen[g] {
+				s.negSeen[g] = true
 				s.negAtoms = append(s.negAtoms, g)
 			}
 		}
 	}
-	s.vars = make([]Var, prog.NumAtoms())
-	for i := range s.vars {
-		s.vars[i] = s.sat.NewVar()
+	for a := fromAtom; a < prog.NumAtoms(); a++ {
+		s.vars = append(s.vars, s.sat.NewVar())
+		s.headRules = append(s.headRules, nil)
+		s.isFact = append(s.isFact, false)
 	}
-	s.headRules = make([][]int32, prog.NumAtoms())
-	s.bodyAux = make([]Var, len(prog.Rules))
-
-	isFact := make([]bool, prog.NumAtoms())
-	for _, f := range prog.Facts {
-		isFact[f] = true
+	for fi := s.nFacts; fi < len(prog.Facts); fi++ {
+		f := prog.Facts[fi]
+		s.isFact[f] = true
 		s.sat.AddClause(PosLit(s.vars[f]))
 	}
-	for ri, r := range prog.Rules {
+	s.nFacts = len(prog.Facts)
+	for ri := fromRule; ri < len(prog.Rules); ri++ {
+		r := &prog.Rules[ri]
+		s.bodyAux = append(s.bodyAux, 0)
 		lits := make([]Lit, 0, len(r.Head)+len(r.Pos)+len(r.Neg))
 		for _, h := range r.Head {
 			lits = append(lits, PosLit(s.vars[h]))
@@ -165,13 +211,14 @@ func NewStableSolver(prog *GroundProgram) *StableSolver {
 		s.sat.AddClause(lits...)
 	}
 	// Support clauses: a → ∨_{r: a ∈ head(r)} body(r), via body aux vars.
-	for a := 0; a < prog.NumAtoms(); a++ {
-		if isFact[a] {
+	// Only new atoms need one; every rule of a new atom is itself new.
+	for a := fromAtom; a < prog.NumAtoms(); a++ {
+		if s.isFact[a] {
 			continue
 		}
 		rules := s.headRules[a]
 		clause := make([]Lit, 0, len(rules)+1)
-		clause = append(clause, NegLit(s.vars[a]))
+		clause = append(clause, NegLit(s.vars[AtomID(a)]))
 		trivial := false
 		for _, ri := range rules {
 			w, ok := s.bodyWitness(int(ri))
@@ -185,7 +232,6 @@ func NewStableSolver(prog *GroundProgram) *StableSolver {
 			s.sat.AddClause(clause...)
 		}
 	}
-	return s
 }
 
 // bodyWitness returns a literal implying the rule's body (true only if every
@@ -228,9 +274,9 @@ func (s *StableSolver) model() []bool {
 }
 
 // minimize shrinks a classical model to a minimal classical model (w.r.t.
-// the current clause database) by iterated SAT calls constrained to strict
-// subsets.
-func (s *StableSolver) minimize(m []bool) []bool {
+// the current clause database and the active assumptions) by iterated SAT
+// calls constrained to strict subsets.
+func (s *StableSolver) minimize(m []bool, sess *Session) []bool {
 	act := s.sat.NewVar()
 	frozen := make([]bool, len(m)) // atoms already forced false under act
 	for {
@@ -249,13 +295,54 @@ func (s *StableSolver) minimize(m []bool) []bool {
 			}
 		}
 		s.sat.AddClause(shrink...)
-		if !s.sat.Solve(PosLit(act)) {
+		if !s.solve(sess, PosLit(act)) {
 			break // m is minimal
 		}
 		m = s.model()
 	}
 	s.sat.AddClause(NegLit(act)) // retire the activation scope
 	return m
+}
+
+// solve runs one SAT search under the solver-lifetime assumptions, the
+// session's scope (activation literal plus pinned atoms), and any extra
+// literals, in that fixed order so search traces are deterministic.
+func (s *StableSolver) solve(sess *Session, extra ...Lit) bool {
+	n := len(s.assumps) + len(extra)
+	if sess != nil {
+		n += 1 + len(sess.assumps)
+	}
+	lits := make([]Lit, 0, n)
+	if sess != nil {
+		lits = append(lits, PosLit(sess.act))
+	}
+	for _, a := range s.assumps {
+		lits = append(lits, s.assumpLit(a))
+	}
+	if sess != nil {
+		for _, a := range sess.assumps {
+			lits = append(lits, s.assumpLit(a))
+		}
+	}
+	lits = append(lits, extra...)
+	return s.sat.SolveUnderAssumptions(lits)
+}
+
+func (s *StableSolver) assumpLit(a AtomAssumption) Lit {
+	if a.True {
+		return PosLit(s.vars[a.Atom])
+	}
+	return NegLit(s.vars[a.Atom])
+}
+
+// assumptionsHold reports whether the model satisfies every assumption.
+func assumptionsHold(m []bool, as []AtomAssumption) bool {
+	for _, a := range as {
+		if m[a.Atom] != a.True {
+			return false
+		}
+	}
+	return true
 }
 
 // checkStable checks whether a minimal classical model m is a minimal model
@@ -645,15 +732,18 @@ func modelsEqual(a, b []bool) bool {
 }
 
 // NextStable finds a stable model consistent with the current clause
-// database (including any previously added blocking clauses), or nil.
+// database (including any previously added blocking clauses) and the
+// solver-lifetime assumptions, or nil.
 //
 // For normal programs, a classical model m is checked with the linear test
 // m = lfp(reduct^m); on failure the unfounded set m \ lfp yields a loop
 // formula. For disjunctive programs the generic minimize-and-check path
 // runs (stability checking is coNP-hard there).
-func (s *StableSolver) NextStable() []bool {
+func (s *StableSolver) NextStable() []bool { return s.nextStable(nil) }
+
+func (s *StableSolver) nextStable(sess *Session) []bool {
 	for {
-		if s.Canceled() || s.sat.Exhausted() || !s.sat.Solve() {
+		if s.Canceled() || s.sat.Exhausted() || !s.solve(sess) {
 			return nil
 		}
 		s.CandidatesTested++
@@ -681,6 +771,22 @@ func (s *StableSolver) NextStable() []bool {
 				}
 			}
 			if agree {
+				// f is stable, but only m — not necessarily f ⊆ m — is
+				// known to satisfy the active assumptions. If f violates
+				// them it cannot be returned: exclude f (and its supersets,
+				// none of which are stable) and search on. Under a session
+				// the exclusion is scoped to the session; under lifetime
+				// assumptions it is permanent, which is sound only because
+				// those assumptions never change (see SetAssumptions).
+				if sess != nil {
+					if !assumptionsHold(f, s.assumps) || !assumptionsHold(f, sess.assumps) {
+						sess.blockSupersets(f)
+						continue
+					}
+				} else if !assumptionsHold(f, s.assumps) {
+					s.blockSupersets(f)
+					continue
+				}
 				if !s.accept(f) {
 					continue
 				}
@@ -689,7 +795,9 @@ func (s *StableSolver) NextStable() []bool {
 			s.StabilityFails++
 			// Learn loop formulas for the unfounded cycles (generalizes
 			// across candidates), plus the negative-signature clause for
-			// guaranteed progress.
+			// guaranteed progress. Both are facts about the program alone —
+			// independent of any active assumptions — so they are added
+			// unguarded and shared with every later session.
 			s.learnUnfounded(m, f)
 			lits := make([]Lit, len(s.negAtoms))
 			for i, a := range s.negAtoms {
@@ -702,7 +810,7 @@ func (s *StableSolver) NextStable() []bool {
 			s.sat.AddClause(lits...)
 			continue
 		}
-		m := s.minimize(s.model())
+		m := s.minimize(s.model(), sess)
 		if s.sat.Exhausted() {
 			// minimize was cut short; m may not be minimal, so the
 			// stability check below could misclassify it. End the session.
@@ -835,6 +943,186 @@ func (s *StableSolver) Cautious(candidates []AtomID) ([]AtomID, bool) {
 	return c, true
 }
 
+// AtomAssumption pins one program atom's truth value for the duration of
+// an assumption scope (a Session or SetAssumptions).
+type AtomAssumption struct {
+	Atom AtomID
+	True bool
+}
+
+// SetAssumptions pins atom truth values for the remainder of the solver's
+// lifetime: every later search (NextStable, Enumerate, Brave, Cautious)
+// runs under them as CDCL assumptions. Intended for one-shot use
+// (cmd/aspsolve -assume): when the repair-itself path of a normal program
+// yields a stable model violating the assumptions, the solver excludes it
+// with a permanent clause, which is sound only while the assumption set
+// never changes. Incremental callers that swap assumption sets between
+// queries use StartSession instead.
+func (s *StableSolver) SetAssumptions(assumps []AtomAssumption) {
+	s.assumps = append(s.assumps[:0], assumps...)
+}
+
+// Session is one incremental query scope against a persistent solver: a
+// set of assumption atoms plus a fresh activation literal guarding every
+// clause that is only locally sound. Distinct queries against the same
+// signature program swap sessions instead of rebuilding the solver, so
+// CDCL learnt clauses and loop formulas carry over between them.
+type Session struct {
+	s       *StableSolver
+	act     Var
+	assumps []AtomAssumption
+	closed  bool
+}
+
+// StartSession opens an incremental scope: the given atoms are held at
+// their pinned values for every search made through the session, and
+// every clause that is only locally sound — assumption-relative model
+// exclusions and the brave/cautious search-strategy clauses — is guarded
+// by a fresh activation literal. Program-valid knowledge learned during
+// the session (CDCL learnt clauses, loop formulas, negative-signature
+// blocks, theory clauses) is unguarded and legally shared with every
+// later session; see DESIGN.md §17. Close the session to retire its
+// scope.
+func (s *StableSolver) StartSession(assumps []AtomAssumption) *Session {
+	return &Session{s: s, act: s.sat.NewVar(), assumps: append([]AtomAssumption(nil), assumps...)}
+}
+
+// NextStable finds the next stable model satisfying the session's
+// assumptions, or nil. Check Exhausted/Canceled on the solver to tell a
+// cut-short search from genuine absence.
+func (ss *Session) NextStable() []bool { return ss.s.nextStable(ss) }
+
+// Block excludes the given stable model (and its supersets, none of which
+// are stable) for the rest of the session — the session-scoped analogue
+// of the blocking Enumerate performs between models.
+func (ss *Session) Block(m []bool) { ss.blockSupersets(m) }
+
+// blockSupersets adds the session-scoped all-negative clause excluding m
+// and every superset of m. Because every classical model whose reduct
+// fixpoint is a stable model f contains f, scoping the block to f also
+// guarantees search progress after f is rejected.
+func (ss *Session) blockSupersets(m []bool) {
+	s := ss.s
+	lits := make([]Lit, 0, 16)
+	lits = append(lits, NegLit(ss.act))
+	for a, tv := range m {
+		if tv {
+			lits = append(lits, NegLit(s.vars[AtomID(a)]))
+		}
+	}
+	s.sat.AddClause(lits...)
+}
+
+// Cautious is the session-scoped analogue of StableSolver.Cautious: the
+// model-guided narrowing clauses are guarded by the session's activation
+// literal, so the solver is NOT spent afterwards — later sessions see the
+// full model space again.
+func (ss *Session) Cautious(candidates []AtomID) ([]AtomID, bool) {
+	s := ss.s
+	m := s.nextStable(ss)
+	if m == nil {
+		return append([]AtomID(nil), candidates...), false
+	}
+	c := make([]AtomID, 0, len(candidates))
+	for _, a := range candidates {
+		if m[a] {
+			c = append(c, a)
+		}
+	}
+	for len(c) > 0 {
+		// Demand a stable model violating at least one remaining candidate.
+		lits := make([]Lit, 0, len(c)+1)
+		lits = append(lits, NegLit(ss.act))
+		for _, a := range c {
+			lits = append(lits, NegLit(s.vars[a]))
+		}
+		if !s.sat.AddClause(lits...) {
+			break
+		}
+		m = s.nextStable(ss)
+		if m == nil {
+			break
+		}
+		kept := c[:0]
+		for _, a := range c {
+			if m[a] {
+				kept = append(kept, a)
+			}
+		}
+		c = kept
+	}
+	return c, true
+}
+
+// Brave is the session-scoped analogue of StableSolver.Brave; like
+// Session.Cautious it leaves the solver reusable.
+func (ss *Session) Brave(candidates []AtomID) ([]AtomID, bool) {
+	s := ss.s
+	m := s.nextStable(ss)
+	if m == nil {
+		return nil, false
+	}
+	var brave []AtomID
+	undecided := make([]AtomID, 0, len(candidates))
+	for _, a := range candidates {
+		if m[a] {
+			brave = append(brave, a)
+		} else {
+			undecided = append(undecided, a)
+		}
+	}
+	for len(undecided) > 0 {
+		// Demand a stable model containing some still-unseen candidate.
+		lits := make([]Lit, 0, len(undecided)+1)
+		lits = append(lits, NegLit(ss.act))
+		for _, a := range undecided {
+			lits = append(lits, PosLit(s.vars[a]))
+		}
+		if !s.sat.AddClause(lits...) {
+			break
+		}
+		m = s.nextStable(ss)
+		if m == nil {
+			break
+		}
+		rest := undecided[:0]
+		for _, a := range undecided {
+			if m[a] {
+				brave = append(brave, a)
+			} else {
+				rest = append(rest, a)
+			}
+		}
+		if len(rest) == len(undecided) {
+			// No progress: the repair-itself path returned a stable f ⊆ m
+			// missing every remaining candidate even though the SAT model m
+			// satisfied the progress clause. Supersets of f are never
+			// stable, so excluding them within the session is sound and
+			// forces the next model to differ.
+			ss.blockSupersets(m)
+		}
+		undecided = rest
+	}
+	return brave, true
+}
+
+// Close retires the session: its activation literal is permanently
+// falsified, deactivating every scoped clause; every few closures the
+// now-satisfied clauses are reclaimed via clause-database simplification.
+func (ss *Session) Close() {
+	if ss.closed {
+		return
+	}
+	ss.closed = true
+	s := ss.s
+	s.sat.AddClause(NegLit(ss.act))
+	s.retired++
+	if s.retired >= 8 {
+		s.retired = 0
+		s.sat.Simplify()
+	}
+}
+
 // SatConflicts returns the underlying SAT solver's conflict count.
 func (s *StableSolver) SatConflicts() int64 { return s.sat.Conflicts }
 
@@ -847,6 +1135,18 @@ func (s *StableSolver) SatDecisions() int64 { return s.sat.Decisions }
 // SatRestarts returns the underlying SAT solver's restart count (Luby
 // budget renewals beyond the first of each search).
 func (s *StableSolver) SatRestarts() int64 { return s.sat.Restarts }
+
+// SatAssumptionSolves returns how many SAT searches ran under at least
+// one assumption literal.
+func (s *StableSolver) SatAssumptionSolves() int64 { return s.sat.AssumptionSolves }
+
+// SatReductions returns how many clause-database reductions the
+// underlying SAT solver performed.
+func (s *StableSolver) SatReductions() int64 { return s.sat.Reductions }
+
+// SatClausesDeleted returns how many learnt clauses the underlying SAT
+// solver deleted during clause-database reductions.
+func (s *StableSolver) SatClausesDeleted() int64 { return s.sat.ClausesDeleted }
 
 // PreferTrue sets the decision polarity of the given atoms to true-first.
 // Useful when models are expected to be near-maximal on these atoms (e.g.

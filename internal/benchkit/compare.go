@@ -137,7 +137,7 @@ func CompareReports(base, cur *BenchReport, thresholdPct float64) *ReportDiff {
 // workCounter reports whether a telemetry counter measures solver or chase
 // effort (regression-eligible) rather than workload size.
 func workCounter(name string) bool {
-	for _, suffix := range []string{"decisions", "conflicts", "propagations", "restarts", "rule_evals", "triggers", "probes", "candidates_tested", "stability_fails"} {
+	for _, suffix := range []string{"decisions", "conflicts", "propagations", "restarts", "rule_evals", "triggers", "probes", "candidates_tested", "stability_fails", "assumption_solves", "reductions", "clauses_deleted"} {
 		if len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix {
 			return true
 		}

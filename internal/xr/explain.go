@@ -17,28 +17,35 @@ import (
 //
 // The core idea (DESIGN.md §13): a candidate tuple t with query atom qa is
 // XR-certain iff qa holds in every stable model of its signature program,
-// iff the program extended with the constraint ¬qa has no stable model. So
-// one witness solve per candidate decides it and, on rejection, the stable
+// iff the program has no stable model under the assumption ¬qa. So one
+// witness solve per candidate decides it and, on rejection, the stable
 // model found IS a counterexample exchange-repair of the signature's
 // sub-world — the deleted "suspect" source facts and the derived facts that
-// disappear with them. For brave (possible) queries the constraint is qa
+// disappear with them. For brave (possible) queries the assumption is qa
 // itself and a model is a supporting repair.
 //
-// Determinism: the pass runs on a fresh solver per candidate over a fresh
-// specialization of the signature's frozen base program, with NO
-// learned-clause replay and NO writes into the shared signature cache.
-// Replayed clauses arrive in a parallelism-dependent order and steer the
-// SAT search, which would change *which* witness model is found first;
-// starting every witness solve from the identical clause database makes the
-// witness — and with it the rendered output — byte-identical at any
-// Parallelism and across cache warm/cold states. The price is re-learning
-// maximality clauses per candidate, which is why Explain is opt-in.
+// Determinism: the pass builds ONE fresh solver per signature group — a
+// fresh specialization of the frozen base program with every group
+// candidate wired in — and decides the candidates in order, each as an
+// incremental session under its own qa assumption (DESIGN.md §17). There
+// is NO learned-clause replay and NO write into the shared signature
+// cache: replayed clauses arrive in a parallelism-dependent order and
+// steer the SAT search, which would change *which* witness model is
+// found first. Starting every group from the identical clause database,
+// with candidate order fixed by collection order, makes the witnesses —
+// and with them the rendered output — byte-identical at any Parallelism,
+// across cache warm/cold states, and across solver-reuse modes. Within a
+// group, knowledge the solver accumulates (loop formulas, maximality
+// clauses, CDCL learnt clauses) legally carries from one candidate's
+// session to the next, which is what makes the pass cheap enough to
+// serve routinely.
 
 // explainGroup explains every candidate of one signature group. A degraded
 // group (out.degraded != nil) yields Unknown explanations without solving;
-// otherwise each candidate gets its own witness solve.
-func (ex *Exchange) explainGroup(ctx context.Context, key string, g *sigGroup, out *groupOutcome, brave bool, qname string) ([]*explain.Explanation, error) {
-	es := make([]*explain.Explanation, 0, len(g.cands))
+// otherwise the group's candidates share one fresh solver and each gets
+// its own witness session.
+func (ex *Exchange) explainGroup(ctx context.Context, key string, g *sigGroup, out *groupOutcome, brave bool, qname string) (es []*explain.Explanation, err error) {
+	es = make([]*explain.Explanation, 0, len(g.cands))
 	if out.degraded != nil {
 		cause := classifyCause(out.degraded.Err)
 		for _, c := range g.cands {
@@ -55,52 +62,59 @@ func (ex *Exchange) explainGroup(ctx context.Context, key string, g *sigGroup, o
 		}
 		return es, nil
 	}
-	for _, c := range g.cands {
-		e, err := ex.explainCandidate(ctx, key, g.sig, c, brave, qname)
-		if err != nil {
-			return nil, err
+	defer recoverInternal("explain signature {"+key+"}", &err)
+	sp, _ := ex.sigProgramFor(key)
+	sp.ensure(ex, g.sig)
+
+	spec := sp.enc.specialize()
+	qas := make([]asp.AtomID, len(g.cands))
+	wired := make([]bool, len(g.cands))
+	for i, c := range g.cands {
+		qas[i], wired[i] = spec.addCandidate(c)
+	}
+	solver := asp.NewStableSolver(spec.gp)
+	solver.SetContext(ctx)
+	solver.Acceptor = spec.acceptorWithIndex(sp.idx, solver, nil)
+	for i, c := range g.cands {
+		e, cerr := ex.explainCandidate(ctx, solver, spec, key, g.sig, c, qas[i], wired[i], brave, qname)
+		if cerr != nil {
+			return nil, cerr
 		}
 		es = append(es, e)
 	}
 	return es, nil
 }
 
-// explainCandidate runs one witness solve for a non-safe candidate.
-func (ex *Exchange) explainCandidate(ctx context.Context, key string, sig []int, c *candidate, brave bool, qname string) (e *explain.Explanation, err error) {
-	defer recoverInternal("explain signature {"+key+"}", &err)
-	sp, _ := ex.sigProgramFor(key)
-	sp.ensure(ex, sig)
-
-	e = &explain.Explanation{
+// explainCandidate runs one witness session for a non-safe candidate on
+// the group's shared solver.
+func (ex *Exchange) explainCandidate(ctx context.Context, solver *asp.StableSolver, spec *encoder, key string, sig []int, c *candidate, qa asp.AtomID, wired, brave bool, qname string) (*explain.Explanation, error) {
+	e := &explain.Explanation{
 		Query:     qname,
 		Tuple:     c.tuple,
 		Signature: key,
 		Clusters:  ex.clusterInfos(sig),
 		Support:   ex.supportClosure(c),
 	}
-	spec := sp.enc.specialize()
-	qa, any := spec.addCandidate(c)
-	if !any {
+	if !wired {
 		e.Verdict = explain.NoSupport
 		return e, nil
 	}
-	solver := asp.NewStableSolver(spec.gp)
-	solver.SetContext(ctx)
-	// Certain path: constrain qa false — a stable model is a repair whose
+	// Certain path: assume qa false — a stable model is a repair whose
 	// solution misses the tuple (the reduct fixpoint blocks models that
 	// merely *assign* qa false while it is derivable, so satisfying models
-	// are genuine counterexamples). Brave path: constrain qa true — a
-	// stable model is a repair whose solution contains the tuple.
-	solver.AddTheoryClause([]asp.Lit{solver.AtomLit(qa, brave)})
-	solver.Acceptor = spec.acceptorWithIndex(sp.idx, solver, nil)
-	m := solver.NextStable()
+	// are genuine counterexamples). Brave path: assume qa true — a stable
+	// model is a repair whose solution contains the tuple.
+	before := solver.CandidatesTested
+	sess := solver.StartSession([]asp.AtomAssumption{{Atom: qa, True: brave}})
+	m := sess.NextStable()
+	sess.Close()
 	if solver.Canceled() {
 		if cerr := ctxErr(ctx); cerr != nil {
 			return nil, cerr
 		}
 		return nil, ErrCanceled
 	}
-	e.ModelsExamined = solver.CandidatesTested
+	e.ModelsExamined = solver.CandidatesTested - before
 	if m == nil {
 		if brave {
 			e.Verdict = explain.Impossible

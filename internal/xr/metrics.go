@@ -71,6 +71,14 @@ type meters struct {
 	stabilityFails   *telemetry.Counter
 	loopsLearned     *telemetry.Counter
 	theoryRejects    *telemetry.Counter
+	assumptionSolves *telemetry.Counter
+	reductions       *telemetry.Counter
+	clausesDeleted   *telemetry.Counter
+
+	// Persistent-solver reuse (DESIGN.md §17): sessions served on a warm
+	// per-signature solver vs cold builds of one.
+	reuseSessions *telemetry.Counter
+	reuseBuilds   *telemetry.Counter
 
 	// Degradation (partial-results mode; DESIGN.md §11).
 	partialQueries   *telemetry.Counter
@@ -134,6 +142,12 @@ func newMeters(reg *telemetry.Registry) *meters {
 		stabilityFails:   reg.Counter("xr_solver_stability_fails_total"),
 		loopsLearned:     reg.Counter("xr_solver_loops_learned_total"),
 		theoryRejects:    reg.Counter("xr_solver_theory_rejects_total"),
+		assumptionSolves: reg.Counter("xr_solver_assumption_solves_total"),
+		reductions:       reg.Counter("xr_solver_reductions_total"),
+		clausesDeleted:   reg.Counter("xr_solver_clauses_deleted_total"),
+
+		reuseSessions: reg.Counter("xr_solver_reuse_sessions_total"),
+		reuseBuilds:   reg.Counter("xr_solver_reuse_builds_total"),
 
 		partialQueries:   reg.Counter("xr_partial_queries_total"),
 		degradedSigs:     reg.Counter("xr_signatures_degraded_total"),
@@ -225,7 +239,29 @@ func (m *meters) recordProgram(ev TraceEvent) {
 	m.stabilityFails.Add(int64(ev.StabilityFails))
 	m.loopsLearned.Add(int64(ev.LoopsLearned))
 	m.theoryRejects.Add(int64(ev.TheoryRejects))
+	m.assumptionSolves.Add(ev.AssumptionSolves)
+	m.reductions.Add(ev.Reductions)
+	m.clausesDeleted.Add(ev.ClausesDeleted)
 	m.programSeconds.Observe(ev.Duration)
+}
+
+// recordReuseBuild counts one persistent per-signature solver built (a
+// cold start for that signature's reuse path).
+func (m *meters) recordReuseBuild() {
+	if m == nil {
+		return
+	}
+	m.reuseBuilds.Inc()
+}
+
+// recordReuseSession counts one query session on a persistent solver;
+// only warm sessions (a solver that existed before this query) count as
+// reuse.
+func (m *meters) recordReuseSession(reused bool) {
+	if m == nil || !reused {
+		return
+	}
+	m.reuseSessions.Inc()
 }
 
 // recordLearned counts one maximality clause newly added to a signature

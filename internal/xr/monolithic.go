@@ -177,6 +177,9 @@ func solveProgram(ctx context.Context, prov *chase.Provenance, rq *logic.UCQ, st
 			Decisions:        solver.SatDecisions(),
 			Propagations:     solver.SatPropagations(),
 			Restarts:         solver.SatRestarts(),
+			AssumptionSolves: solver.SatAssumptionSolves(),
+			Reductions:       solver.SatReductions(),
+			ClausesDeleted:   solver.SatClausesDeleted(),
 			Duration:         time.Since(start),
 		}
 		mt.recordProgram(ev)

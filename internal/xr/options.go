@@ -203,13 +203,24 @@ type Options struct {
 	// and must be nil in production use.
 	FaultHook func(site, key string) error
 
+	// DisableSolverReuse selects the fresh-solve query path (segmentary
+	// engines only): every signature group builds a throwaway solver and
+	// replays the signature cache's learned maximality clauses, instead of
+	// running as an incremental session on the signature's persistent
+	// solver (DESIGN.md §17). Answers, Unknown sets, and explanations are
+	// identical either way; the flag exists as an escape hatch and so the
+	// two paths can be compared. The zero value — reuse enabled — is the
+	// fast path.
+	DisableSolverReuse bool
+
 	// Explain makes the segmentary engines attach one Explanation per
 	// candidate tuple to the Result (see internal/explain and DESIGN.md
 	// §13). Explanations are computed in a dedicated deterministic pass —
-	// fresh solvers, no learned-clause replay — so the output is
-	// byte-identical at any Parallelism and across signature-cache states.
-	// The pass costs one witness solve per non-safe candidate; leave it off
-	// (the default) on hot paths.
+	// one fresh solver per signature group, no learned-clause replay, no
+	// persistent-solver reuse — so the output is byte-identical at any
+	// Parallelism, across signature-cache states, and across solver-reuse
+	// modes. The pass costs one witness solve per non-safe candidate;
+	// leave it off (the default) on hot paths.
 	Explain bool
 	// Tracer, when non-nil, collects a hierarchical span tree over the call
 	// (exchange sub-phases, the query phase, one child span per signature
@@ -251,6 +262,11 @@ type TraceEvent struct {
 	Atoms      int  `json:"atoms"`      // ground atoms
 	Rules      int  `json:"rules"`      // ground rules
 	CacheHit   bool `json:"cache_hit"`  // signature program served from the Exchange cache
+	// SolverReused marks a segmentary solve served as an incremental
+	// session on an already-warm persistent signature solver (DESIGN.md
+	// §17). When set, the solver counters below are per-session deltas
+	// rather than whole-solver totals.
+	SolverReused bool `json:"solver_reused,omitempty"`
 
 	CandidatesTested int   `json:"candidates_tested"` // classical models tested for stability
 	StabilityFails   int   `json:"stability_fails"`
@@ -259,7 +275,10 @@ type TraceEvent struct {
 	Conflicts        int64 `json:"conflicts"`
 	Decisions        int64 `json:"decisions"`
 	Propagations     int64 `json:"propagations"`
-	Restarts         int64 `json:"restarts"` // SAT search restarts (Luby budget renewals)
+	Restarts         int64 `json:"restarts"`          // SAT search restarts (Luby budget renewals)
+	AssumptionSolves int64 `json:"assumption_solves"` // SAT searches run under assumption literals
+	Reductions       int64 `json:"reductions"`        // clause-database reductions performed
+	ClausesDeleted   int64 `json:"clauses_deleted"`   // learnt clauses deleted by reductions
 
 	Duration time.Duration `json:"duration_ns"`
 }

@@ -1,0 +1,127 @@
+package xr
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+// benchGroups prepares the solve stage of the multi-candidate genome join
+// ep3: an exchange with every signature program ground and cached, plus the
+// query's signature groups in canonical order. Candidate collection and
+// grounding run once, so iterating the returned closure measures only the
+// per-signature solve stage (the subject of DESIGN.md §17).
+func benchGroups(b *testing.B, profile string) (*Exchange, []string, []*sigGroup) {
+	b.Helper()
+	w, err := genome.NewWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, ok := genome.ProfileByName(profile, 0.1)
+	if !ok {
+		b.Fatalf("unknown profile %s", profile)
+	}
+	src := genome.Generate(w, p)
+	ex, err := NewExchange(w.M, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := genome.Queries(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep3 := qs[2]
+	if ep3.Name != "ep3" {
+		b.Fatal("query order changed")
+	}
+	rq, err := ex.Red.RewriteQuery(ep3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := make(map[string]*sigGroup)
+	var keys []string
+	for _, c := range collectCandidates(rq, ex.Prov) {
+		if ex.safeCandidate(c) {
+			continue
+		}
+		key, sig := ex.signature(c)
+		g, okG := groups[key]
+		if !okG {
+			g = &sigGroup{sig: sig}
+			groups[key] = g
+			keys = append(keys, key)
+		}
+		g.cands = append(g.cands, c)
+	}
+	ordered := make([]*sigGroup, len(keys))
+	for i, k := range keys {
+		sp, _ := ex.sigProgramFor(k)
+		sp.ensure(ex, groups[k].sig)
+		ordered[i] = groups[k]
+	}
+	if len(ordered) == 0 {
+		b.Fatalf("profile %s produced no solver groups for ep3", profile)
+	}
+	return ex, keys, ordered
+}
+
+// BenchmarkIncrementalSolve measures the per-signature solve stage of the
+// genome multi-candidate join ep3 across the size axis, in three variants:
+//
+//   - cold: a throwaway solver per signature, no learned clauses to
+//     replay (first-ever query on the signature);
+//   - warm-cache: a throwaway solver per signature with learned-clause
+//     replay from the warm signature cache (the pre-§17 fast path);
+//   - persistent: one persistent solver per signature answering via an
+//     assumption session, clause database held in place.
+//
+// Grounding and candidate collection are excluded from all variants; see
+// BenchmarkSignatureCache (root) for the end-to-end query cost.
+func BenchmarkIncrementalSolve(b *testing.B) {
+	ctx := context.Background()
+	for _, profile := range []string{"S3", "M3", "L3"} {
+		solveAll := func(b *testing.B, ex *Exchange, keys []string, gs []*sigGroup, opts *Options) {
+			mt := newMeters(nil)
+			for i, g := range gs {
+				sp, _ := ex.sigProgramFor(keys[i])
+				var sv *sigSolve
+				if opts.DisableSolverReuse {
+					sv = ex.solveSigFresh(ctx, sp, g, false, opts, mt, 1)
+				} else {
+					sv = ex.solveSigReuse(ctx, sp, g, false, opts, mt, 1)
+				}
+				if !sv.hasModel {
+					b.Fatal("signature program has no stable model")
+				}
+			}
+		}
+		b.Run("cold/"+profile, func(b *testing.B) {
+			opts := (Options{DisableSolverReuse: true}).serialized()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ex, keys, gs := benchGroups(b, profile)
+				b.StartTimer()
+				solveAll(b, ex, keys, gs, &opts)
+			}
+		})
+		b.Run("warm-cache/"+profile, func(b *testing.B) {
+			opts := (Options{DisableSolverReuse: true}).serialized()
+			ex, keys, gs := benchGroups(b, profile)
+			solveAll(b, ex, keys, gs, &opts) // warm the learned-clause ledger
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solveAll(b, ex, keys, gs, &opts)
+			}
+		})
+		b.Run("persistent/"+profile, func(b *testing.B) {
+			opts := (Options{}).serialized()
+			ex, keys, gs := benchGroups(b, profile)
+			solveAll(b, ex, keys, gs, &opts) // build the persistent solvers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solveAll(b, ex, keys, gs, &opts)
+			}
+		})
+	}
+}

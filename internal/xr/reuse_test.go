@@ -1,0 +1,282 @@
+package xr
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/telemetry"
+	"repro/internal/testkit"
+)
+
+// This file pins the central contract of the persistent-solver path
+// (DESIGN.md §17): answers, Unknown sets, per-query stats, and rendered
+// explanations are byte-identical between the solver-reuse path (the
+// default) and the fresh-solve path (DisableSolverReuse), at any
+// parallelism, on cold and warm caches.
+
+// requireCrossModeResult compares a fresh-path and a reuse-path result.
+// Answers and every decision-relevant stat must match exactly. The two
+// grounding-size stats are compared as an envelope instead: the fresh path
+// reports a throwaway per-query program while the persistent solver
+// honestly reports its accumulated program (base + every candidate wired
+// so far), so the absolute rule/atom totals legitimately differ while
+// remaining deterministic within each mode.
+func requireCrossModeResult(t *testing.T, label string, fresh, reuse *Result) {
+	t.Helper()
+	fT, rT := tupleStrings(fresh), tupleStrings(reuse)
+	if len(fT) != len(rT) {
+		t.Fatalf("%s: fresh %d answers, reuse %d", label, len(fT), len(rT))
+	}
+	for i := range fT {
+		if fT[i] != rT[i] {
+			t.Fatalf("%s: answer %d differs: %q vs %q", label, i, fT[i], rT[i])
+		}
+	}
+	fS, rS := fresh.Stats, reuse.Stats
+	if (fS.GroundRules > 0) != (rS.GroundRules > 0) || (fS.GroundAtoms > 0) != (rS.GroundAtoms > 0) {
+		t.Fatalf("%s: grounding stats envelope broken:\nfresh: %+v\nreuse: %+v", label, fS, rS)
+	}
+	fS.GroundRules, rS.GroundRules = 0, 0
+	fS.GroundAtoms, rS.GroundAtoms = 0, 0
+	if !statsEqual(fS, rS) {
+		t.Fatalf("%s: stats differ:\nfresh: %+v\nreuse: %+v", label, fS, rS)
+	}
+}
+
+// requireSameUnknown compares the Unknown sets of two results.
+func requireSameUnknown(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	switch {
+	case a.Unknown == nil && b.Unknown == nil:
+		return
+	case a.Unknown == nil || b.Unknown == nil:
+		t.Fatalf("%s: Unknown presence differs: %v vs %v", label, a.Unknown != nil, b.Unknown != nil)
+	}
+	aU, bU := a.Unknown.Tuples(), b.Unknown.Tuples()
+	if len(aU) != len(bU) {
+		t.Fatalf("%s: Unknown sizes differ: %d vs %d", label, len(aU), len(bU))
+	}
+	for i := range aU {
+		if fmt.Sprint(aU[i]) != fmt.Sprint(bU[i]) {
+			t.Fatalf("%s: Unknown tuple %d differs: %v vs %v", label, i, aU[i], bU[i])
+		}
+	}
+}
+
+// TestReuseMatchesFreshConflictFarm: repeated certain/possible queries on a
+// many-cluster world, so later runs exercise warm solver sessions, warm
+// caches, and candidate memoization.
+func TestReuseMatchesFreshConflictFarm(t *testing.T) {
+	w, q := conflictFarm(16)
+	exReuse, err := NewExchange(w.m, w.src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exFresh, err := NewExchange(w.m, w.src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4, 8} {
+		for pass := 0; pass < 2; pass++ {
+			label := fmt.Sprintf("par=%d pass=%d", par, pass)
+			ra, err := exReuse.AnswerOpts(q, Options{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fa, err := exFresh.AnswerOpts(q, Options{Parallelism: par, DisableSolverReuse: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireCrossModeResult(t, label+" answer", fa, ra)
+			requireSameUnknown(t, label+" answer", fa, ra)
+
+			rp, err := exReuse.PossibleOpts(q, Options{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, err := exFresh.PossibleOpts(q, Options{Parallelism: par, DisableSolverReuse: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireCrossModeResult(t, label+" possible", fp, rp)
+			requireSameUnknown(t, label+" possible", fp, rp)
+		}
+	}
+}
+
+// TestReuseMatchesFreshGenome runs the full genome query suite on the S3
+// and M3 profiles against both solver paths at several parallelism levels.
+// The reuse exchange keeps one persistent solver per signature across the
+// whole suite, so by the later queries it is deep into incremental
+// territory (hundreds of sessions, memoized candidates, shared learnts).
+func TestReuseMatchesFreshGenome(t *testing.T) {
+	world, err := genome.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := genome.Queries(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"S3", "M3"} {
+		p, ok := genome.ProfileByName(name, 0.02)
+		if !ok {
+			t.Fatalf("unknown profile %s", name)
+		}
+		src := genome.Generate(world, p)
+		exReuse, err := NewExchange(world.M, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exFresh, err := NewExchange(world.M, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			par := []int{1, 4, 8}[qi%3]
+			r, err := exReuse.AnswerOpts(q, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s/%s reuse: %v", name, q.Name, err)
+			}
+			f, err := exFresh.AnswerOpts(q, Options{Parallelism: par, DisableSolverReuse: true})
+			if err != nil {
+				t.Fatalf("%s/%s fresh: %v", name, q.Name, err)
+			}
+			requireCrossModeResult(t, name+"/"+q.Name, f, r)
+			requireSameUnknown(t, name+"/"+q.Name, f, r)
+		}
+	}
+}
+
+// TestReuseExplanationsIdentical: rendered explanations are byte-identical
+// between reuse modes and across parallelism — the explain pass runs on its
+// own per-group solver regardless of the query path.
+func TestReuseExplanationsIdentical(t *testing.T) {
+	world, err := genome.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := genome.Queries(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := genome.ProfileByName("S3", 0.02)
+	src := genome.Generate(world, p)
+	want := map[string]string{}
+	for _, reuse := range []bool{true, false} {
+		for _, par := range []int{1, runtime.NumCPU()} {
+			ex, err := NewExchange(world.M, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range queries {
+				res, err := ex.AnswerOpts(q, Options{
+					Parallelism:        par,
+					Explain:            true,
+					DisableSolverReuse: !reuse,
+				})
+				if err != nil {
+					t.Fatalf("%s reuse=%v: %v", q.Name, reuse, err)
+				}
+				got := renderAll(world.Cat, world.U, ex, res)
+				key := q.Name
+				if prev, ok := want[key]; !ok {
+					want[key] = got
+				} else if got != prev {
+					t.Fatalf("%s: explanations diverge (reuse=%v par=%d):\n%s\n-- want --\n%s",
+						q.Name, reuse, par, got, prev)
+				}
+			}
+		}
+	}
+}
+
+// TestReuseMatchesFreshRandom cross-validates both paths on random
+// weakly-acyclic mappings, instances, and queries (the PR 4 generator),
+// re-asking each query so the reuse path serves warm sessions.
+func TestReuseMatchesFreshRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 25; trial++ {
+		w := testkit.RandomMapping(rng, testkit.Options{Existentials: trial%2 == 0})
+		src := testkit.RandomInstance(rng, w, 14+rng.Intn(10), 4)
+		exReuse, err := NewExchange(w.M, src)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		exFresh, err := NewExchange(w.M, src)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for qi := 0; qi < 3; qi++ {
+			q := testkit.RandomQuery(rng, w, fmt.Sprintf("q%d_%d", trial, qi))
+			for pass := 0; pass < 2; pass++ {
+				par := 1 + (trial+qi+pass)%8
+				label := fmt.Sprintf("trial %d %s pass %d", trial, q.Name, pass)
+				r, err := exReuse.AnswerOpts(q, Options{Parallelism: par})
+				if err != nil {
+					t.Fatalf("%s reuse: %v", label, err)
+				}
+				f, err := exFresh.AnswerOpts(q, Options{Parallelism: par, DisableSolverReuse: true})
+				if err != nil {
+					t.Fatalf("%s fresh: %v", label, err)
+				}
+				requireCrossModeResult(t, label, f, r)
+				requireSameUnknown(t, label, f, r)
+			}
+		}
+	}
+}
+
+// TestReuseObservable verifies the reuse path actually runs and is visible
+// in trace events and telemetry: warm sessions report SolverReused with
+// per-session delta counters, and the xr_solver_reuse_* counters move.
+func TestReuseObservable(t *testing.T) {
+	w, q := conflictFarm(6)
+	reg := telemetry.NewRegistry()
+	ex, err := NewExchangeOpts(w.m, w.src, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.AnswerOpts(q, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var warm []TraceEvent
+	if _, err := ex.AnswerOpts(q, Options{Trace: func(ev TraceEvent) {
+		if ev.SolverReused {
+			warm = append(warm, ev)
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) == 0 {
+		t.Fatal("second run reported no reused-solver trace events")
+	}
+	for _, ev := range warm {
+		if ev.AssumptionSolves < 0 || ev.Decisions < 0 || ev.Conflicts < 0 {
+			t.Fatalf("negative per-session delta counters: %+v", ev)
+		}
+	}
+	if got := reg.Counter("xr_solver_reuse_builds_total").Value(); got == 0 {
+		t.Fatal("xr_solver_reuse_builds_total did not move")
+	}
+	if got := reg.Counter("xr_solver_reuse_sessions_total").Value(); got == 0 {
+		t.Fatal("xr_solver_reuse_sessions_total did not move")
+	}
+	if got := reg.Counter("xr_solver_assumption_solves_total").Value(); got == 0 {
+		t.Fatal("xr_solver_assumption_solves_total did not move")
+	}
+
+	// The fresh path must not touch the reuse counters further.
+	builds := reg.Counter("xr_solver_reuse_builds_total").Value()
+	sessions := reg.Counter("xr_solver_reuse_sessions_total").Value()
+	if _, err := ex.AnswerOpts(q, Options{DisableSolverReuse: true}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("xr_solver_reuse_builds_total").Value() != builds ||
+		reg.Counter("xr_solver_reuse_sessions_total").Value() != sessions {
+		t.Fatal("fresh-solve path moved the solver-reuse counters")
+	}
+}

@@ -500,12 +500,39 @@ func retryableSigErr(err error) bool {
 	return errors.Is(err, ErrBudget) || errors.Is(err, ErrTimeout)
 }
 
+// sigSolve is the outcome of one signature solve, common to the fresh and
+// reuse paths: the decided candidates, the program size, the solver's
+// termination state, and the per-solve counter contributions (absolute on
+// a throwaway solver, deltas on a persistent one).
+type sigSolve struct {
+	atoms    []asp.AtomID
+	live     []*candidate
+	kept     []asp.AtomID
+	hasModel bool
+	rules    int
+	numAtoms int
+
+	canceled  bool
+	exhausted bool
+	reused    bool // served by an already-built persistent solver
+
+	candidatesTested int
+	stabilityFails   int
+	loopsLearned     int
+	theoryRejects    int
+
+	decisions, conflicts, propagations, restarts int64
+	assumptionSolves, reductions, clausesDeleted int64
+}
+
 // solveSigAttempt solves one signature group once: fetch (or build) the
-// cached base program, specialize a clone with this query's candidates,
-// replay the maximality clauses learned so far, and run cautious or brave
-// reasoning on a fresh solver under the per-signature budget scaled by
-// scale. Panics are converted to *InternalError (the worker pool must
-// never crash the process).
+// cached base program and run cautious or brave reasoning under the
+// per-signature budget scaled by scale — on the signature's persistent
+// incremental solver by default, or on a throwaway solver with
+// learned-clause replay under Options.DisableSolverReuse. Panics are
+// converted to *InternalError (the worker pool must never crash the
+// process); a panic on the reuse path additionally poisons the persistent
+// solver so the next query rebuilds it.
 func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup, brave bool, opts *Options, mt *meters, qname string, parent telemetry.SpanID, lane int, scale int64) (out *groupOutcome, err error) {
 	defer recoverInternal("segmentary signature {"+key+"}", &err)
 	start := time.Now()
@@ -537,80 +564,55 @@ func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup
 	}
 	sp.ensure(ex, g.sig)
 
-	spec := sp.enc.specialize()
-	atoms := make([]asp.AtomID, 0, len(g.cands))
-	live := make([]*candidate, 0, len(g.cands))
-	for _, c := range g.cands {
-		qa, any := spec.addCandidate(c)
-		if !any {
-			continue
-		}
-		atoms = append(atoms, qa)
-		live = append(live, c)
-	}
-
-	solver := asp.NewStableSolver(spec.gp)
-	solver.SetContext(ctx)
-	if opts.MaxDecisions > 0 || opts.MaxConflicts > 0 {
-		solver.SetBudget(opts.MaxDecisions*scale, opts.MaxConflicts*scale)
-	}
-	sp.replayInto(solver)
-	solver.Acceptor = spec.acceptorWithIndex(sp.idx, solver, func(clause []asp.AtomID) {
-		if sp.addLearned(clause) {
-			mt.recordLearned()
-		}
-	})
-
 	if opts.FaultHook != nil {
 		if herr := opts.FaultHook(faultSiteSolve, key); herr != nil {
 			return nil, fmt.Errorf("solving signature program: %w", herr)
 		}
 	}
-	var kept []asp.AtomID
-	var hasModel bool
-	if brave {
-		kept, hasModel = solver.Brave(atoms)
+	var sv *sigSolve
+	if opts.DisableSolverReuse {
+		sv = ex.solveSigFresh(ctx, sp, g, brave, opts, mt, scale)
 	} else {
-		kept, hasModel = solver.Cautious(atoms)
+		sv = ex.solveSigReuse(ctx, sp, g, brave, opts, mt, scale)
 	}
 	// A cut-short session must be discarded: cautious narrowing
 	// over-approximates and brave marking under-approximates when the
 	// solver stops early.
-	if solver.Canceled() {
+	if sv.canceled {
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
 		return nil, ErrCanceled
 	}
-	if solver.Exhausted() {
+	if sv.exhausted {
 		return nil, ErrBudget
 	}
-	if !hasModel {
+	if !sv.hasModel {
 		return nil, fmt.Errorf("internal error: signature program has no stable model")
 	}
 
-	keptSet := make(map[asp.AtomID]bool, len(kept))
-	for _, a := range kept {
+	keptSet := make(map[asp.AtomID]bool, len(sv.kept))
+	for _, a := range sv.kept {
 		keptSet[a] = true
 	}
 	out = &groupOutcome{
-		rules:    len(spec.gp.Rules),
-		atoms:    spec.gp.NumAtoms(),
+		rules:    sv.rules,
+		atoms:    sv.numAtoms,
 		cacheHit: hit,
 	}
-	for i, c := range live {
-		if keptSet[atoms[i]] {
+	for i, c := range sv.live {
+		if keptSet[sv.atoms[i]] {
 			out.tuples = append(out.tuples, c.tuple)
 		}
 	}
-	span.ArgInt("candidates", int64(len(atoms)))
+	span.ArgInt("candidates", int64(len(sv.atoms)))
 	if hit {
 		span.Arg("cache", "hit")
 	} else {
 		span.Arg("cache", "miss")
 	}
-	span.ArgInt("decisions", solver.SatDecisions())
-	span.ArgInt("conflicts", solver.SatConflicts())
+	span.ArgInt("decisions", sv.decisions)
+	span.ArgInt("conflicts", sv.conflicts)
 	if opts.Trace != nil || mt != nil {
 		engine := "segmentary"
 		if brave {
@@ -622,18 +624,22 @@ func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup
 			Signature:        g.sig,
 			SignatureKey:     key,
 			RequestID:        telemetry.RequestIDFromContext(ctx),
-			Candidates:       len(atoms),
+			Candidates:       len(sv.atoms),
 			Atoms:            out.atoms,
 			Rules:            out.rules,
 			CacheHit:         hit,
-			CandidatesTested: solver.CandidatesTested,
-			StabilityFails:   solver.StabilityFails,
-			LoopsLearned:     solver.LoopsLearned,
-			TheoryRejects:    solver.TheoryRejects,
-			Conflicts:        solver.SatConflicts(),
-			Decisions:        solver.SatDecisions(),
-			Propagations:     solver.SatPropagations(),
-			Restarts:         solver.SatRestarts(),
+			SolverReused:     sv.reused,
+			CandidatesTested: sv.candidatesTested,
+			StabilityFails:   sv.stabilityFails,
+			LoopsLearned:     sv.loopsLearned,
+			TheoryRejects:    sv.theoryRejects,
+			Conflicts:        sv.conflicts,
+			Decisions:        sv.decisions,
+			Propagations:     sv.propagations,
+			Restarts:         sv.restarts,
+			AssumptionSolves: sv.assumptionSolves,
+			Reductions:       sv.reductions,
+			ClausesDeleted:   sv.clausesDeleted,
 			Duration:         time.Since(start),
 		}
 		mt.recordProgram(ev)
@@ -642,6 +648,140 @@ func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup
 		}
 	}
 	return out, nil
+}
+
+// solveSigFresh is the fresh-solve path (Options.DisableSolverReuse):
+// specialize a throwaway clone with this query's candidates, replay the
+// maximality clauses learned so far, and run the query on a solver that
+// is discarded afterwards.
+func (ex *Exchange) solveSigFresh(ctx context.Context, sp *sigProgram, g *sigGroup, brave bool, opts *Options, mt *meters, scale int64) *sigSolve {
+	spec := sp.enc.specialize()
+	sv := &sigSolve{
+		atoms: make([]asp.AtomID, 0, len(g.cands)),
+		live:  make([]*candidate, 0, len(g.cands)),
+	}
+	for _, c := range g.cands {
+		qa, any := spec.addCandidate(c)
+		if !any {
+			continue
+		}
+		sv.atoms = append(sv.atoms, qa)
+		sv.live = append(sv.live, c)
+	}
+
+	solver := asp.NewStableSolver(spec.gp)
+	solver.SetContext(ctx)
+	if opts.MaxDecisions > 0 || opts.MaxConflicts > 0 {
+		solver.SetBudget(opts.MaxDecisions*scale, opts.MaxConflicts*scale)
+	}
+	sp.replayInto(solver)
+	solver.Acceptor = spec.acceptorWithIndex(sp.idx, solver, func(clause []asp.AtomID) {
+		if _, isNew := sp.addLearned(clause); isNew {
+			mt.recordLearned()
+		}
+	})
+
+	if brave {
+		sv.kept, sv.hasModel = solver.Brave(sv.atoms)
+	} else {
+		sv.kept, sv.hasModel = solver.Cautious(sv.atoms)
+	}
+	sv.rules = len(spec.gp.Rules)
+	sv.numAtoms = spec.gp.NumAtoms()
+	sv.canceled = solver.Canceled()
+	sv.exhausted = solver.Exhausted()
+	sv.candidatesTested = solver.CandidatesTested
+	sv.stabilityFails = solver.StabilityFails
+	sv.loopsLearned = solver.LoopsLearned
+	sv.theoryRejects = solver.TheoryRejects
+	sv.decisions = solver.SatDecisions()
+	sv.conflicts = solver.SatConflicts()
+	sv.propagations = solver.SatPropagations()
+	sv.restarts = solver.SatRestarts()
+	sv.assumptionSolves = solver.SatAssumptionSolves()
+	sv.reductions = solver.SatReductions()
+	sv.clausesDeleted = solver.SatClausesDeleted()
+	return sv
+}
+
+// solveSigReuse is the default path: run the query as one incremental
+// session on the signature's persistent solver (see incremental.go).
+// Candidates are memoized into the persistent program, learned clauses
+// not yet installed are synced in, and the session's activation literal
+// scopes every query-local clause, so the solver — and everything it
+// learned — survives for the next query. The whole solve holds incMu,
+// serializing concurrent queries over the same signature. Counters are
+// reported as per-session deltas. A panic poisons the persistent solver
+// before propagating, so a later query rebuilds it from the immutable
+// base program.
+func (ex *Exchange) solveSigReuse(ctx context.Context, sp *sigProgram, g *sigGroup, brave bool, opts *Options, mt *meters, scale int64) (sv *sigSolve) {
+	sp.incMu.Lock()
+	defer sp.incMu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			sp.poison()
+			panic(r)
+		}
+	}()
+	inc := sp.incSolverLocked(mt)
+	sv = &sigSolve{reused: inc.sessions > 0}
+	inc.sessions++
+	mt.recordReuseSession(sv.reused)
+	inc.syncLearned(sp)
+	sv.atoms, sv.live = inc.wireCandidates(g)
+
+	solver := inc.solver
+	solver.SetContext(ctx)
+	// Always re-arm: the budget is measured from here, and re-arming clears
+	// the exhausted latch a previous query's cut-short session left behind.
+	solver.SetBudget(opts.MaxDecisions*scale, opts.MaxConflicts*scale)
+	solver.Acceptor = inc.spec.acceptorWithIndex(sp.idx, solver, func(clause []asp.AtomID) {
+		key, isNew := sp.addLearned(clause)
+		if isNew {
+			mt.recordLearned()
+		}
+		// The acceptor already added the clause to this solver; record that
+		// so syncLearned never re-installs it.
+		inc.installed[key] = true
+	})
+
+	base := sigSolve{
+		candidatesTested: solver.CandidatesTested,
+		stabilityFails:   solver.StabilityFails,
+		loopsLearned:     solver.LoopsLearned,
+		theoryRejects:    solver.TheoryRejects,
+		decisions:        solver.SatDecisions(),
+		conflicts:        solver.SatConflicts(),
+		propagations:     solver.SatPropagations(),
+		restarts:         solver.SatRestarts(),
+		assumptionSolves: solver.SatAssumptionSolves(),
+		reductions:       solver.SatReductions(),
+		clausesDeleted:   solver.SatClausesDeleted(),
+	}
+	sess := solver.StartSession(nil)
+	if brave {
+		sv.kept, sv.hasModel = sess.Brave(sv.atoms)
+	} else {
+		sv.kept, sv.hasModel = sess.Cautious(sv.atoms)
+	}
+	sess.Close()
+
+	sv.rules = len(inc.spec.gp.Rules)
+	sv.numAtoms = inc.spec.gp.NumAtoms()
+	sv.canceled = solver.Canceled()
+	sv.exhausted = solver.Exhausted()
+	sv.candidatesTested = solver.CandidatesTested - base.candidatesTested
+	sv.stabilityFails = solver.StabilityFails - base.stabilityFails
+	sv.loopsLearned = solver.LoopsLearned - base.loopsLearned
+	sv.theoryRejects = solver.TheoryRejects - base.theoryRejects
+	sv.decisions = solver.SatDecisions() - base.decisions
+	sv.conflicts = solver.SatConflicts() - base.conflicts
+	sv.propagations = solver.SatPropagations() - base.propagations
+	sv.restarts = solver.SatRestarts() - base.restarts
+	sv.assumptionSolves = solver.SatAssumptionSolves() - base.assumptionSolves
+	sv.reductions = solver.SatReductions() - base.reductions
+	sv.clausesDeleted = solver.SatClausesDeleted() - base.clausesDeleted
+	return sv
 }
 
 type sigGroup struct {
@@ -770,6 +910,9 @@ func (ex *Exchange) RepairsOpts(limit int, opts Options) (repairs []*instance.In
 			Decisions:        solver.SatDecisions(),
 			Propagations:     solver.SatPropagations(),
 			Restarts:         solver.SatRestarts(),
+			AssumptionSolves: solver.SatAssumptionSolves(),
+			Reductions:       solver.SatReductions(),
+			ClausesDeleted:   solver.SatClausesDeleted(),
 			Duration:         time.Since(start),
 		}
 		mt.recordProgram(ev)

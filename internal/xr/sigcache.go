@@ -35,7 +35,22 @@ type sigProgram struct {
 
 	mu      sync.Mutex
 	seen    map[string]bool
-	learned [][]asp.AtomID // all-positive clauses over base "remains" atoms
+	learned []learnedClause // all-positive clauses over base "remains" atoms
+
+	// incMu guards inc, the signature's persistent incremental solver
+	// (see incremental.go). Queries reusing the solver serialize on it for
+	// the duration of their solve; the fresh-solve path and the explain
+	// pass never take it.
+	incMu sync.Mutex
+	inc   *incSolver
+}
+
+// learnedClause is one recorded maximality clause together with its
+// canonical dedup key (sorted atom ids, comma-joined), which doubles as
+// the installation ledger key for persistent solvers.
+type learnedClause struct {
+	key   string
+	atoms []asp.AtomID
 }
 
 // sigProgramFor returns the cache entry for a canonical signature key,
@@ -97,10 +112,10 @@ func (sp *sigProgram) ensure(ex *Exchange, sig []int) {
 	})
 }
 
-// addLearned records one maximality clause for replay, reporting whether
-// it was new. Clauses arrive as positive base atoms; duplicates are
-// dropped.
-func (sp *sigProgram) addLearned(clause []asp.AtomID) bool {
+// addLearned records one maximality clause for replay, returning its
+// canonical key and whether it was new. Clauses arrive as positive base
+// atoms; duplicates are dropped.
+func (sp *sigProgram) addLearned(clause []asp.AtomID) (string, bool) {
 	c := append([]asp.AtomID(nil), clause...)
 	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
 	var b strings.Builder
@@ -114,11 +129,11 @@ func (sp *sigProgram) addLearned(clause []asp.AtomID) bool {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
 	if sp.seen[key] {
-		return false
+		return key, false
 	}
 	sp.seen[key] = true
-	sp.learned = append(sp.learned, c)
-	return true
+	sp.learned = append(sp.learned, learnedClause{key: key, atoms: c})
+	return key, true
 }
 
 // replayInto installs the learned maximality clauses on a fresh solver
@@ -128,9 +143,9 @@ func (sp *sigProgram) replayInto(s *asp.StableSolver) int {
 	sp.mu.Lock()
 	snapshot := sp.learned[:len(sp.learned):len(sp.learned)]
 	sp.mu.Unlock()
-	for _, c := range snapshot {
-		lits := make([]asp.Lit, len(c))
-		for i, a := range c {
+	for _, lc := range snapshot {
+		lits := make([]asp.Lit, len(lc.atoms))
+		for i, a := range lc.atoms {
 			lits[i] = s.AtomLit(a, true)
 		}
 		s.AddTheoryClause(lits)

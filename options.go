@@ -195,14 +195,30 @@ func WithSolverTrace(f func(TraceEvent)) Option {
 	return queryOption("WithSolverTrace", func(o *xr.Options) { o.Trace = f })
 }
 
+// WithSolverReuse toggles the persistent per-signature solver (segmentary
+// engine only; default on). With reuse on, each signature keeps one
+// incremental CDCL solver alive across queries: candidates are decided by
+// swapping assumption sessions, and everything the solver learns — CDCL
+// learnt clauses, loop formulas, maximality clauses — legally carries
+// from query to query (DESIGN.md §17). WithSolverReuse(false) selects the
+// fresh-solve path: a throwaway solver per signature per query with
+// learned-clause replay from the signature cache. Answers, Unknown sets,
+// and explanations are identical either way at any WithParallelism
+// setting; only solving effort differs. Scope: query.
+func WithSolverReuse(on bool) Option {
+	return queryOption("WithSolverReuse", func(o *xr.Options) { o.DisableSolverReuse = !on })
+}
+
 // WithExplanations makes Exchange.Answer / Possible attach one rendered
 // Explanation per candidate tuple to the Answers (segmentary engine only):
 // support closures and touched clusters for accepted tuples, a concrete
 // counterexample exchange-repair for rejected ones, and the degradation
-// cause for unknowns. Explanation output is byte-identical across runs,
-// parallelism levels, and signature-cache states. The explanation pass
-// costs one extra witness solve per non-safe candidate, so leave it off
-// (the default) on hot paths; Exchange.Why explains a single tuple.
+// cause for unknowns. Explanations are computed in a dedicated
+// deterministic pass — one fresh solver per signature group, candidates
+// decided in order as assumption sessions — so the output is
+// byte-identical across runs, parallelism levels, signature-cache states,
+// and WithSolverReuse modes. The pass costs one extra witness solve per
+// non-safe candidate; Exchange.Why explains a single tuple.
 // Scope: query.
 func WithExplanations(on bool) Option {
 	return queryOption("WithExplanations", func(o *xr.Options) { o.Explain = on })

@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+)
+
+// K3 (a triangle, 3-colorable: the query is not certain) with out-degree
+// ≥ 1 everywhere, alongside the K4 orientation from options_test.go.
+var k3Edges = [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}}
+
+// TestWithSolverReuseTricolorEquivalence checks the public WithSolverReuse
+// option on the Theorem 3 hardness gadget: the persistent-solver path and
+// the fresh-solve path must return identical answers and stats on K3 and
+// K4, for certain and possible semantics, cold and warm, at parallelism.
+func TestWithSolverReuseTricolorEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		edges   [][2]string
+		certain bool
+	}{
+		{"K3-3-colorable", k3Edges, false},
+		{"K4-not-3-colorable", k4Edges, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exReuse, q := tricolorSetup(t, tc.edges)
+			exFresh, _ := tricolorSetup(t, tc.edges)
+			for pass := 0; pass < 2; pass++ { // second pass: warm cache + warm solver sessions
+				for _, par := range []int{1, 4} {
+					r, err := exReuse.Answer(q, WithParallelism(par))
+					if err != nil {
+						t.Fatal(err)
+					}
+					f, err := exFresh.Answer(q, WithParallelism(par), WithSolverReuse(false))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if (len(r.Tuples) == 1) != tc.certain {
+						t.Fatalf("reuse certainty = %v, want %v", len(r.Tuples) == 1, tc.certain)
+					}
+					if !reflect.DeepEqual(r.Tuples, f.Tuples) || !reflect.DeepEqual(r.Unknown, f.Unknown) {
+						t.Fatalf("pass %d par %d: answers diverge:\nreuse: %+v\nfresh: %+v", pass, par, r, f)
+					}
+					rS, fS := *r, *f
+					rS.Duration, fS.Duration = 0, 0
+					if !reflect.DeepEqual(rS, fS) {
+						t.Fatalf("pass %d par %d: stats diverge:\nreuse: %+v\nfresh: %+v", pass, par, rS, fS)
+					}
+
+					rp, err := exReuse.Possible(q, WithParallelism(par))
+					if err != nil {
+						t.Fatal(err)
+					}
+					fp, err := exFresh.Possible(q, WithParallelism(par), WithSolverReuse(false))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(rp.Tuples, fp.Tuples) {
+						t.Fatalf("pass %d par %d: possible answers diverge", pass, par)
+					}
+					if len(rp.Tuples) != 1 {
+						t.Fatalf("query should always be possible, got %d tuples", len(rp.Tuples))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWithSolverReuseScope: WithSolverReuse is a query-scoped option and
+// must be rejected at exchange construction per the option-scope policy.
+func TestWithSolverReuseScope(t *testing.T) {
+	sys, err := Load(tricolorGadget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sys.ParseFacts(tricolorFacts(k3Edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewExchange(in, WithSolverReuse(false)); err == nil {
+		t.Fatal("NewExchange accepted the query-scoped WithSolverReuse")
+	}
+}

@@ -199,6 +199,18 @@ metrics=$(curl -fsS "$base/metrics")
 grep -q 'xr_server_queries_total{mode="certain",scenario="tri-k4"}' <<<"$metrics" \
   || fail "metrics missing per-tenant series"
 
+# The tenant's queries ran through the engine, so the solver series —
+# including the persistent-solver (DESIGN.md §17) counters — must be
+# exported and moving: reuse is observable from xrserved, not only from
+# the library.
+for series in xr_solver_decisions_total xr_solver_reuse_builds_total \
+  xr_solver_reuse_sessions_total xr_solver_assumption_solves_total; do
+  grep -q "^$series" <<<"$metrics" \
+    || fail "metrics missing solver series $series"
+  [[ "$(awk -v s="$series" '$1 == s {print $2}' <<<"$metrics")" != "0" ]] \
+    || fail "solver series $series never moved"
+done
+
 # --- Request observability: the full correlation chain off ONE request. ---
 # A single slow query must be traceable end to end by its X-Request-Id:
 # response header == response body == JSON access log == /v1/slowlog
