@@ -2,9 +2,9 @@
 # The parallel segmentary query phase and the signature-program cache are
 # exercised concurrently by the tests, so -race is part of the gate.
 # check also builds every command so CLI-only breakage cannot slip past.
-.PHONY: check build test bench bench-smoke bench-diff lint fuzz fuzz-smoke chaos serve-smoke crash
+.PHONY: check build test bench bench-smoke bench-diff lint fuzz fuzz-smoke chaos serve-smoke crash profile-smoke
 
-check: fuzz-smoke crash
+check: fuzz-smoke crash profile-smoke
 	go build ./cmd/...
 	go vet ./...
 	go test -race ./...
@@ -63,6 +63,16 @@ serve-smoke:
 crash:
 	go test -race -count=1 -run 'Crash|Recover|Quarantine|Drain' \
 		./internal/store/ ./internal/server/
+
+# profile-smoke replays the workload-profiler contract under the race
+# detector: byte-identical answers and counter aggregates with profiling
+# on at Parallelism 1/4/8, concurrent multi-tenant top-N reads, eviction
+# order, and the drain-persist / reboot-restore round trip (the crash
+# target covers the store-level profile artifacts; this one focuses the
+# profiler suites directly).
+profile-smoke:
+	go test -race -count=1 -run 'Profile' \
+		./internal/profile/ ./internal/benchkit/ ./internal/store/ ./internal/server/
 
 # chaos replays the fault-injection suite (budgets, timeouts, panics,
 # cache corruption) under the race detector at high parallelism.

@@ -7,7 +7,8 @@
 //	xrquery -mapping m.map -facts i.facts -queries q.dl \
 //	        [-engine seg|mono|brute] [-timeout 60s] [-parallel N] \
 //	        [-stats] [-trace] [-possible] [-metrics-addr :9090] \
-//	        [-partial] [-sig-timeout 5s] [-max-decisions N] [-max-conflicts N]
+//	        [-partial] [-sig-timeout 5s] [-max-decisions N] [-max-conflicts N] \
+//	        [-profile N]
 //
 // With -partial (segmentary engine only), a signature program that
 // exhausts -sig-timeout or the -max-decisions/-max-conflicts solver budget
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/profile"
 )
 
 // config collects the command-line options.
@@ -49,6 +51,7 @@ type config struct {
 	explain      bool
 	why          string
 	traceOut     string
+	profile      int
 
 	// metrics is the run's registry, non-nil when metricsAddr is set.
 	metrics *repro.Metrics
@@ -77,6 +80,7 @@ func main() {
 	flag.BoolVar(&cfg.explain, "explain", false, "print one explanation per candidate tuple (segmentary engine only)")
 	flag.StringVar(&cfg.why, "why", "", "explain one tuple, e.g. 'q(a, b)' (segmentary engine only; implies -explain machinery)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace-event JSON timeline to this path (load in about:tracing or Perfetto)")
+	flag.IntVar(&cfg.profile, "profile", 0, "print the top-N hardest signatures after the run (segmentary engine only; 0 = off)")
 	flag.Parse()
 	if *mappingPath == "" || *factsPath == "" || *queriesPath == "" {
 		flag.Usage()
@@ -103,6 +107,9 @@ func (c config) exchangeOptions() []repro.Option {
 	}
 	if c.tracer != nil {
 		opts = append(opts, repro.WithTracer(c.tracer))
+	}
+	if c.profile > 0 {
+		opts = append(opts, repro.WithProfiling(true))
 	}
 	return opts
 }
@@ -229,6 +236,9 @@ func run(mappingPath, factsPath, queriesPath string, cfg config) (degraded bool,
 				printAnswers(q.Name()+" [possible]", poss, cfg.stats)
 			}
 		}
+		if cfg.profile > 0 {
+			printProfile(ex, cfg.profile)
+		}
 	case "mono":
 		answers, errs, err := sys.MonolithicAnswers(in, queries, opts...)
 		if err != nil {
@@ -298,6 +308,19 @@ func printAnswers(name string, ans *repro.Answers, stats bool) {
 		for _, line := range strings.Split(strings.TrimRight(e.Text, "\n"), "\n") {
 			fmt.Printf("  | %s\n", line)
 		}
+	}
+}
+
+// printProfile renders the exchange's accumulated workload profile: the
+// top-N hardest signatures by total wall time, one comment line each, in
+// the deterministic order Snapshot.Top defines.
+func printProfile(ex *repro.Exchange, n int) {
+	snap := ex.Profile()
+	fmt.Printf("# profile: %d signature record(s), %d solve(s)\n", snap.Records, snap.Solves)
+	for _, sp := range snap.Top(n, profile.SortWall) {
+		fmt.Printf("#   {%s} solves=%d wall=%v p95=%v decisions=%d conflicts=%d cached=%d reused=%d retries=%d degraded=%d\n",
+			sp.Key, sp.Solves, time.Duration(sp.WallNs), time.Duration(int64(sp.Wall.P95)),
+			sp.Decisions, sp.Conflicts, sp.CacheHits, sp.ReuseHits, sp.Retries, sp.Degraded)
 	}
 }
 

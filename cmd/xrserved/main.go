@@ -15,6 +15,7 @@
 //	DELETE /v1/scenarios/{name}       unload a scenario
 //	POST   /v1/scenarios/{name}/query run a query (buffered JSON or NDJSON stream)
 //	GET    /v1/scenarios/{name}/explain?query=Q[&tuple=a,b]
+//	GET    /v1/scenarios/{name}/profile?top=N&sort=wall|conflicts|degraded
 //	GET    /v1/store                  persistence status (data dir, tracked/dirty/quarantined)
 //	GET    /v1/inflight               live requests (id, tenant, lanes, progress)
 //	GET    /v1/slowlog                recent slow requests (record + span tree)
@@ -75,6 +76,7 @@ func main() {
 		slowlogSize = flag.Int("slowlog-size", 64, "max entries retained in the /v1/slowlog ring")
 		traceRing   = flag.Int("trace-ring-size", 128, "max completed-request traces retained for /v1/requests/{id}/trace")
 		dataDir     = flag.String("data-dir", "", "persist scenarios here and recover them on boot (empty = in-memory only)")
+		quarKeep    = flag.Duration("quarantine-retention", 0, "prune quarantined store artifacts older than this at boot (0 = keep forever)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -91,7 +93,11 @@ func main() {
 	metrics := repro.NewMetrics()
 	var st *store.Store
 	if *dataDir != "" {
-		st, err = store.Open(*dataDir, store.Options{Logger: logger, Metrics: metrics})
+		st, err = store.Open(*dataDir, store.Options{
+			Logger:              logger,
+			Metrics:             metrics,
+			QuarantineRetention: *quarKeep,
+		})
 		if err != nil {
 			logger.Error("opening data dir failed", "data_dir", *dataDir, "error", err.Error())
 			os.Exit(1)

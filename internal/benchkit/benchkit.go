@@ -151,7 +151,10 @@ func (r *Runner) exchange(name string) (*xr.Exchange, error) {
 		return nil, err
 	}
 	r.logf("exchange phase for %s (%d source facts)...", name, in.Len())
-	ex, err := xr.NewExchangeOpts(r.world.M, in, xr.Options{Metrics: r.Metrics, Tracer: r.Tracer})
+	// Profiling is on for every benchmark exchange: reports embed the
+	// hottest signatures, and the profiler's counters land in the metrics
+	// snapshot (gated as notes, not work counters, by -compare).
+	ex, err := xr.NewExchangeOpts(r.world.M, in, xr.Options{Metrics: r.Metrics, Tracer: r.Tracer, Profiling: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,205 @@
+package benchkit
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/instance"
+	"repro/internal/logic"
+	"repro/internal/profile"
+	"repro/internal/xr"
+)
+
+// profileFixture builds a tiny genome fixture once: world, source
+// instance, and the Table 3 query suite. L20 (20% suspect rate) is the
+// profile of choice — at the test scale S3 rounds to zero suspect
+// transcripts and would exercise nothing but the safe-accept path.
+func profileFixture(t testing.TB) (*Runner, *instance.Instance, []*logic.UCQ) {
+	t.Helper()
+	r, err := NewRunner(0.004, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := r.source("L20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := r.queries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, in, qs
+}
+
+// runProfiled builds a fresh exchange and runs the full query suite
+// twice (cold then warm) at the given parallelism, returning the
+// exchange and a deterministic rendering of every query's semantic
+// result (answers, unknowns, and the non-temporal stats).
+func runProfiled(t testing.TB, r *Runner, in *instance.Instance, qs []*logic.UCQ, par int, profiling bool) (*xr.Exchange, []string) {
+	t.Helper()
+	ex, err := xr.NewExchangeOpts(r.world.M, in, xr.Options{Profiling: profiling})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered []string
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range qs {
+			res, err := ex.AnswerOpts(q, xr.Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s at parallelism %d: %v", q.Name, par, err)
+			}
+			st := res.Stats
+			st.Duration = 0 // wall time is measured, not part of the contract
+			rendered = append(rendered, fmt.Sprintf("%s pass=%d answers=%v stats=%+v",
+				q.Name, pass, res.Answers.Tuples(), st))
+		}
+	}
+	return ex, rendered
+}
+
+// stripWall zeroes the measured wall-time fields, leaving only the
+// order-independent counter aggregates the determinism contract covers.
+func stripWall(snap *profile.Snapshot) *profile.Snapshot {
+	for i := range snap.Signatures {
+		snap.Signatures[i].WallNs = 0
+		snap.Signatures[i].Wall = profile.WallStats{}
+	}
+	for i := range snap.Clusters {
+		snap.Clusters[i].WallNs = 0
+	}
+	return snap
+}
+
+// TestProfileCrossParallelism pins the profiler's determinism contract on
+// the genome suite: the counter aggregates (solves, decisions, conflicts, cache
+// and reuse attribution — everything except measured wall time) are
+// identical at Parallelism 1, 4, and 8, cold and warm, and enabling
+// profiling leaves every answer and stat byte-identical.
+func TestProfileCrossParallelism(t *testing.T) {
+	r, in, qs := profileFixture(t)
+
+	exOff, renderedOff := runProfiled(t, r, in, qs, 1, false)
+	if exOff.ProfilingEnabled() {
+		t.Fatal("profiling reported enabled on a plain exchange")
+	}
+	if got := exOff.Profile(); got.Records != 0 || len(got.Signatures) != 0 {
+		t.Fatalf("disabled profile not empty: %+v", got)
+	}
+
+	var baseline []string
+	var baseSnap *profile.Snapshot
+	for _, par := range []int{1, 4, 8} {
+		ex, rendered := runProfiled(t, r, in, qs, par, true)
+		if !ex.ProfilingEnabled() {
+			t.Fatal("profiling not enabled")
+		}
+		// Profiling on vs off: identical semantic results.
+		if !reflect.DeepEqual(rendered, renderedOff) {
+			t.Fatalf("parallelism %d: answers/stats differ with profiling on", par)
+		}
+		snap := stripWall(ex.Profile())
+		if snap.Solves == 0 || snap.Records == 0 {
+			t.Fatalf("parallelism %d: no solves profiled", par)
+		}
+		b, err := snap.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = rendered
+			baseSnap = snap
+			continue
+		}
+		base, err := baseSnap.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(base) {
+			t.Fatalf("profile counter aggregates differ between parallelism 1 and %d:\n%s\nvs\n%s",
+				par, base, b)
+		}
+	}
+
+	// Warm solves must be attributed: the second pass hits the signature
+	// program cache, so cache hits show up in the aggregate.
+	var cacheHits int64
+	for _, sp := range baseSnap.Signatures {
+		cacheHits += sp.CacheHits
+	}
+	if cacheHits == 0 {
+		t.Fatal("warm pass recorded no cache hits")
+	}
+}
+
+// TestReportEmbedsHotSignatures pins the xrbench report block: profiling
+// is on for benchmark exchanges and the report embeds the top hardest
+// signatures.
+func TestReportEmbedsHotSignatures(t *testing.T) {
+	r := tinyRunner(t)
+	rep, err := r.Report("L20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProfileSolves == 0 {
+		t.Fatal("report embeds no profile solves")
+	}
+	if len(rep.HotSignatures) == 0 || len(rep.HotSignatures) > reportHotSignatures {
+		t.Fatalf("hot signatures = %d", len(rep.HotSignatures))
+	}
+	for i := 1; i < len(rep.HotSignatures); i++ {
+		if rep.HotSignatures[i].WallNs > rep.HotSignatures[i-1].WallNs {
+			t.Fatalf("hot signatures not ordered by wall time at %d", i)
+		}
+	}
+	if got := rep.Metrics.Counters["xr_profile_solves_total"]; got == 0 {
+		t.Fatal("xr_profile_solves_total missing from the report metrics")
+	}
+}
+
+// BenchmarkProfileOverhead measures the profiler's cost on the genome
+// query suite: the disabled arm pays one nil check per solve, the
+// enabled arm the full record path.
+func BenchmarkProfileOverhead(b *testing.B) {
+	for _, arm := range []struct {
+		name      string
+		profiling bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			r, err := NewRunner(0.004, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in, err := r.source("L20")
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs, err := r.queries()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ex, err := xr.NewExchangeOpts(r.world.M, in, xr.Options{Profiling: arm.profiling})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the signature cache so iterations measure the steady
+			// state the daemon lives in.
+			for _, q := range qs {
+				if _, err := ex.AnswerOpts(q, xr.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, err := ex.AnswerOpts(q, xr.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			_ = time.Now()
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 )
 
@@ -78,14 +79,24 @@ type BenchReport struct {
 	Exchange ExchangeReport     `json:"exchange"`
 	Queries  []QueryReport      `json:"queries"`
 	Metrics  telemetry.Snapshot `json:"metrics"`
+
+	// ProfileSolves and HotSignatures embed the run's workload profile:
+	// total recorded solves and the top hardest signatures by wall time
+	// (deterministic order; wall fields are measured, counters are not).
+	// JSON-additive — absent from baselines written before profiling.
+	ProfileSolves int64                      `json:"profile_solves,omitempty"`
+	HotSignatures []profile.SignatureProfile `json:"hot_signatures,omitempty"`
 }
+
+// reportHotSignatures bounds the hottest-signature block a report embeds.
+const reportHotSignatures = 10
 
 // Report runs the segmentary pipeline end to end on one profile — the
 // exchange phase plus the full Table 3 query suite — and returns the
 // machine-readable result. The runner's Metrics registry is used if set;
 // otherwise a fresh one is attached for the duration of the run, so the
 // report always carries solver counters.
-func (r *Runner) Report(profile string) (*BenchReport, error) {
+func (r *Runner) Report(profileName string) (*BenchReport, error) {
 	if r.Metrics == nil {
 		r.Metrics = telemetry.NewRegistry()
 	}
@@ -93,13 +104,13 @@ func (r *Runner) Report(profile string) (*BenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex, err := r.exchange(profile)
+	ex, err := r.exchange(profileName)
 	if err != nil {
 		return nil, err
 	}
 	st := ex.Stats
 	rep := &BenchReport{
-		Profile:     profile,
+		Profile:     profileName,
 		Scale:       r.Scale,
 		Parallelism: r.Parallelism,
 		GoVersion:   runtime.Version(),
@@ -131,7 +142,7 @@ func (r *Runner) Report(profile string) (*BenchReport, error) {
 		},
 	}
 	for _, q := range qs {
-		r.logf("report query %s on %s...", q.Name, profile)
+		r.logf("report query %s on %s...", q.Name, profileName)
 		start := time.Now()
 		res, err := r.answer(ex, q)
 		if err != nil {
@@ -153,6 +164,10 @@ func (r *Runner) Report(profile string) (*BenchReport, error) {
 		})
 	}
 	rep.Metrics = r.Metrics.Snapshot()
+	if snap := ex.Profile(); snap.Records > 0 {
+		rep.ProfileSolves = snap.Solves
+		rep.HotSignatures = snap.Top(reportHotSignatures, profile.SortWall)
+	}
 	return rep, nil
 }
 

@@ -9,6 +9,8 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,12 +49,78 @@ type requestState struct {
 	queryHash string
 	tracer    *telemetry.Tracer
 
+	// hot tracks the hardest signatures this request solved (by wall
+	// time, capped at hotSignatureCap); guarded by mu because the
+	// solver-trace hook feeds it from worker goroutines.
+	hot []hotSig
+
 	lanes     atomic.Int64
 	sigsDone  atomic.Int64
 	decisions atomic.Int64
 	conflicts atomic.Int64
 	degraded  atomic.Int64
 	unknown   atomic.Int64
+}
+
+// hotSignatureCap bounds the hardest-signature list a request tracks
+// (and the slowlog surfaces).
+const hotSignatureCap = 3
+
+// hotSig is one solved signature's wall time as the request's
+// solver-trace hook saw it.
+type hotSig struct {
+	key string
+	ns  int64
+}
+
+// noteSignature records one signature solve for the request's
+// hardest-signature list, keeping the top hotSignatureCap by wall time.
+// A signature solved twice in one request (retry) keeps its longest
+// solve. Ties order by key so the list is deterministic.
+func (st *requestState) noteSignature(key string, d time.Duration) {
+	if key == "" {
+		return
+	}
+	ns := int64(d)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	found := false
+	for i := range st.hot {
+		if st.hot[i].key == key {
+			if ns > st.hot[i].ns {
+				st.hot[i].ns = ns
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		st.hot = append(st.hot, hotSig{key: key, ns: ns})
+	}
+	sort.Slice(st.hot, func(i, j int) bool {
+		if st.hot[i].ns != st.hot[j].ns {
+			return st.hot[i].ns > st.hot[j].ns
+		}
+		return st.hot[i].key < st.hot[j].key
+	})
+	if len(st.hot) > hotSignatureCap {
+		st.hot = st.hot[:hotSignatureCap]
+	}
+}
+
+// hotSignatures returns the tracked hardest signature keys, hottest
+// first.
+func (st *requestState) hotSignatures() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.hot) == 0 {
+		return nil
+	}
+	keys := make([]string, len(st.hot))
+	for i, h := range st.hot {
+		keys[i] = h.key
+	}
+	return keys
 }
 
 func (st *requestState) setRoute(route string) {
@@ -307,6 +375,11 @@ type AccessRecord struct {
 	Decisions  int64   `json:"decisions,omitempty"`
 	Conflicts  int64   `json:"conflicts,omitempty"`
 	QueryHash  string  `json:"query_hash,omitempty"`
+	// HotSignatures are the request's hardest signature keys (canonical
+	// "2,7" form, hottest first, top 3 by wall time) — the handle an
+	// operator takes from a slowlog entry into
+	// GET /v1/scenarios/{name}/profile.
+	HotSignatures []string `json:"hot_signatures,omitempty"`
 }
 
 func (s *Server) buildRecord(st *requestState, sw *statusWriter) AccessRecord {
@@ -319,20 +392,21 @@ func (s *Server) buildRecord(st *requestState, sw *statusWriter) AccessRecord {
 		status = http.StatusOK
 	}
 	return AccessRecord{
-		RequestID:  st.id,
-		Time:       st.start.UTC().Format(time.RFC3339Nano),
-		Method:     st.method,
-		Route:      route,
-		Tenant:     tenant,
-		Status:     status,
-		Bytes:      sw.bytes,
-		DurationMS: float64(time.Since(st.start).Nanoseconds()) / 1e6,
-		Lanes:      int(st.lanes.Load()),
-		Degraded:   int(st.degraded.Load()),
-		Unknown:    int(st.unknown.Load()),
-		Decisions:  st.decisions.Load(),
-		Conflicts:  st.conflicts.Load(),
-		QueryHash:  queryHash,
+		RequestID:     st.id,
+		Time:          st.start.UTC().Format(time.RFC3339Nano),
+		Method:        st.method,
+		Route:         route,
+		Tenant:        tenant,
+		Status:        status,
+		Bytes:         sw.bytes,
+		DurationMS:    float64(time.Since(st.start).Nanoseconds()) / 1e6,
+		Lanes:         int(st.lanes.Load()),
+		Degraded:      int(st.degraded.Load()),
+		Unknown:       int(st.unknown.Load()),
+		Decisions:     st.decisions.Load(),
+		Conflicts:     st.conflicts.Load(),
+		QueryHash:     queryHash,
+		HotSignatures: st.hotSignatures(),
 	}
 }
 
@@ -361,6 +435,9 @@ func (r AccessRecord) logAttrs() []slog.Attr {
 	}
 	if r.QueryHash != "" {
 		attrs = append(attrs, slog.String("query_hash", r.QueryHash))
+	}
+	if len(r.HotSignatures) > 0 {
+		attrs = append(attrs, slog.String("hot_signatures", strings.Join(r.HotSignatures, " ")))
 	}
 	return attrs
 }

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// getProfile fetches a tenant's workload profile with the given raw query
+// string ("" = defaults) and decodes the response.
+func getProfile(t *testing.T, base, scenario, query string) (int, ProfileResponse, []byte) {
+	t.Helper()
+	url := base + "/v1/scenarios/" + scenario + "/profile"
+	if query != "" {
+		url += "?" + query
+	}
+	code, body, _ := doJSON(t, http.MethodGet, url, nil)
+	var resp ProfileResponse
+	if code == http.StatusOK {
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("decoding profile response: %v", err)
+		}
+	}
+	return code, resp, body
+}
+
+// TestProfileEndpoint pins the introspection surface on a tenant with real
+// solver work (the K4 tricolor gadget): the profile carries signature
+// records with nonzero solves and conflicts, ?top= truncates, bad
+// parameters 400, unknown tenants 404, and /healthz aggregates the block.
+func TestProfileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	loadScenario(t, ts.URL, "k4", tricolorMapping, k4Facts, k4Query)
+
+	// Before any query: profiling is on but nothing is recorded.
+	code, resp, _ := getProfile(t, ts.URL, "k4", "")
+	if code != http.StatusOK {
+		t.Fatalf("profile before queries: %d", code)
+	}
+	if resp.Profile == nil || resp.Profile.Solves != 0 {
+		t.Fatalf("fresh tenant profile not empty: %+v", resp.Profile)
+	}
+
+	queryAnswers(t, ts.URL, "k4", "inAllRepairs")
+
+	code, resp, body := getProfile(t, ts.URL, "k4", "")
+	if code != http.StatusOK {
+		t.Fatalf("profile: %d %s", code, body)
+	}
+	if resp.Scenario != "k4" || resp.Sort != "wall" {
+		t.Fatalf("response header fields: %+v", resp)
+	}
+	snap := resp.Profile
+	if snap == nil || snap.Solves == 0 || len(snap.Signatures) == 0 {
+		t.Fatalf("no solves profiled after a solver query: %s", body)
+	}
+	var conflicts int64
+	for _, sp := range snap.Signatures {
+		conflicts += sp.Conflicts
+		if sp.Key == "" || len(sp.ClusterIDs) == 0 {
+			t.Fatalf("signature record missing key/clusters: %+v", sp)
+		}
+	}
+	if conflicts == 0 {
+		t.Fatalf("K4 solved without a single recorded conflict: %s", body)
+	}
+	if len(snap.Clusters) == 0 {
+		t.Fatalf("profile carries no cluster table: %s", body)
+	}
+
+	// ?top truncates, ?sort selects the order.
+	code, resp, _ = getProfile(t, ts.URL, "k4", "top=1&sort=conflicts")
+	if code != http.StatusOK || resp.Top != 1 || resp.Sort != "conflicts" {
+		t.Fatalf("top=1&sort=conflicts: %d %+v", code, resp)
+	}
+	if len(resp.Profile.Signatures) != 1 {
+		t.Fatalf("top=1 returned %d signatures", len(resp.Profile.Signatures))
+	}
+
+	// Parameter validation and unknown tenants.
+	if code, _, body := getProfile(t, ts.URL, "k4", "sort=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("sort=bogus: %d %s", code, body)
+	}
+	if code, _, body := getProfile(t, ts.URL, "k4", "top=-1"); code != http.StatusBadRequest {
+		t.Fatalf("top=-1: %d %s", code, body)
+	}
+	if code, _, body := getProfile(t, ts.URL, "k4", "top=x"); code != http.StatusBadRequest {
+		t.Fatalf("top=x: %d %s", code, body)
+	}
+	if code, _, body := getProfile(t, ts.URL, "nosuch", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant: %d %s", code, body)
+	}
+
+	// /healthz aggregates the live profiler state.
+	var h HealthResponse
+	_, hb, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if err := json.Unmarshal(hb, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Profile == nil || h.Profile.Scenarios != 1 || h.Profile.Solves != snap.Solves {
+		t.Fatalf("/healthz profile block: %+v (want solves=%d)", h.Profile, snap.Solves)
+	}
+}
+
+// TestProfileConcurrentMultiTenant hammers two tenants with queries while
+// readers pull their profiles and /healthz concurrently (run under -race
+// by make check): every read sees a consistent snapshot, never a torn one.
+func TestProfileConcurrentMultiTenant(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrentQueries: 32})
+	loadScenario(t, ts.URL, "k4", tricolorMapping, k4Facts, k4Query)
+	loadScenario(t, ts.URL, "k3", tricolorMapping, k3Facts, k3Query)
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"k4", "k3"} {
+		wg.Add(2)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				queryAnswers(t, ts.URL, name, "inAllRepairs")
+			}
+		}(tenant)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				code, resp, body := getProfile(t, ts.URL, name, "")
+				if code != http.StatusOK {
+					t.Errorf("profile %s: %d %s", name, code, body)
+					return
+				}
+				for _, sp := range resp.Profile.Signatures {
+					if sp.Solves < 0 || sp.CacheHits > sp.Solves {
+						t.Errorf("torn record on %s: %+v", name, sp)
+						return
+					}
+				}
+				doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+			}
+		}(tenant)
+	}
+	wg.Wait()
+
+	for _, tenant := range []string{"k4", "k3"} {
+		if code, resp, body := getProfile(t, ts.URL, tenant, ""); code != http.StatusOK || resp.Profile.Solves == 0 {
+			t.Fatalf("final profile %s: %d %s", tenant, code, body)
+		}
+	}
+	var h HealthResponse
+	_, hb, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if err := json.Unmarshal(hb, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Profile == nil || h.Profile.Scenarios != 2 {
+		t.Fatalf("/healthz profile block after load: %+v", h.Profile)
+	}
+}
+
+// TestSlowlogHotSignatures pins the satellite surface: a slow request's
+// record names the hardest signature keys it touched, capped at three,
+// hardest first.
+func TestSlowlogHotSignatures(t *testing.T) {
+	_, ts := newTestServer(t, Config{SlowQuery: time.Nanosecond})
+	loadScenario(t, ts.URL, "k4", tricolorMapping, k4Facts, k4Query)
+	queryAnswers(t, ts.URL, "k4", "inAllRepairs")
+
+	code, body, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/slowlog", nil)
+	if code != http.StatusOK {
+		t.Fatalf("slowlog: %d", code)
+	}
+	var sl SlowlogResponse
+	if err := json.Unmarshal(body, &sl); err != nil {
+		t.Fatal(err)
+	}
+	var queryEntry *SlowEntry
+	for i := range sl.Entries {
+		if sl.Entries[i].Route == "/v1/scenarios/{name}/query" {
+			queryEntry = &sl.Entries[i]
+			break
+		}
+	}
+	if queryEntry == nil {
+		t.Fatalf("no query entry in slowlog: %s", body)
+	}
+	if len(queryEntry.HotSignatures) == 0 || len(queryEntry.HotSignatures) > hotSignatureCap {
+		t.Fatalf("hot signatures = %v, want 1..%d entries", queryEntry.HotSignatures, hotSignatureCap)
+	}
+	for _, key := range queryEntry.HotSignatures {
+		if key == "" {
+			t.Fatalf("empty hot signature key: %v", queryEntry.HotSignatures)
+		}
+	}
+
+	// The non-query entries (load) carry no hot signatures.
+	for _, e := range sl.Entries {
+		if e.Route == "/v1/scenarios" && len(e.HotSignatures) != 0 {
+			t.Fatalf("load request carries hot signatures: %+v", e)
+		}
+	}
+}
+
+// TestDrainPersistsProfileRecoverRestores is the cumulative-profile
+// restart story: drain persists every tenant's profile beside its
+// snapshot, and a reboot over the same data dir serves the pre-restart
+// cumulative profile byte-identically.
+func TestDrainPersistsProfileRecoverRestores(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	loadScenario(t, ts1.URL, "k4", tricolorMapping, k4Facts, k4Query)
+	for i := 0; i < 2; i++ { // two passes: warm-pass cache hits land in the profile
+		queryAnswers(t, ts1.URL, "k4", "inAllRepairs")
+	}
+	code, _, want := getProfile(t, ts1.URL, "k4", "")
+	if code != http.StatusOK {
+		t.Fatalf("pre-drain profile: %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	sum, err := s2.RecoverFromStore()
+	if err != nil {
+		t.Fatalf("RecoverFromStore: %v", err)
+	}
+	if sum.Loaded != 1 {
+		t.Fatalf("recovery summary: %+v", sum)
+	}
+	code, _, got := getProfile(t, ts2.URL, "k4", "")
+	if code != http.StatusOK {
+		t.Fatalf("post-recovery profile: %d", code)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("profile differs across restart:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestDrainWithoutStoreSkipsProfilePersistence: draining a storeless
+// server is a no-op for profiles and never errors.
+func TestDrainWithoutStoreSkipsProfilePersistence(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	loadScenario(t, ts.URL, "k4", tricolorMapping, k4Facts, k4Query)
+	queryAnswers(t, ts.URL, "k4", "inAllRepairs")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain without store: %v", err)
+	}
+}
+
+// TestRecoverSurvivesDamagedProfile: a corrupt persisted profile is
+// advisory — the tenant recovers with a fresh profiler, is never
+// quarantined, and still answers.
+func TestRecoverSurvivesDamagedProfile(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	loadScenario(t, ts1.URL, "k4", tricolorMapping, k4Facts, k4Query)
+	want := queryAnswers(t, ts1.URL, "k4", "inAllRepairs")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage the persisted profile (valid envelope, garbage payload) via
+	// the store API the daemon itself uses. Recover first: SaveProfile
+	// only writes for tracked scenarios.
+	seed := openTestStore(t, dir)
+	if _, err := seed.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.SaveProfile("k4", []byte("{not json")); err != nil {
+		t.Fatalf("corrupting profile: %v", err)
+	}
+	seed.Close()
+
+	s2, ts2 := newTestServer(t, Config{Store: openTestStore(t, dir)})
+	sum, err := s2.RecoverFromStore()
+	if err != nil {
+		t.Fatalf("boot must survive a damaged profile: %v", err)
+	}
+	if sum.Loaded != 1 || sum.Quarantined != 0 {
+		t.Fatalf("recovery summary: %+v", sum)
+	}
+	code, resp, _ := getProfile(t, ts2.URL, "k4", "")
+	if code != http.StatusOK || resp.Profile.Solves != 0 {
+		t.Fatalf("tenant must start with a fresh profiler: %d %+v", code, resp.Profile)
+	}
+	if got := queryAnswers(t, ts2.URL, "k4", "inAllRepairs"); got != want {
+		t.Fatalf("answers differ after damaged-profile recovery:\n got %s\nwant %s", got, want)
+	}
+}

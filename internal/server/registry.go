@@ -212,6 +212,28 @@ func (sc *Scenario) Info() ScenarioInfo {
 	}
 }
 
+// Profile snapshots the tenant's workload profiler under the read lock.
+// The snapshot is deterministic JSON-shaped data (see internal/profile);
+// on a tenant built without profiling it is empty, never nil.
+func (sc *Scenario) Profile() *repro.Profile {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.ex.Profile()
+}
+
+// MergeProfile folds a restored snapshot into the tenant's profiler
+// (additive; see Profiler.Merge). Used at boot to resume persisted
+// hardness history under live recording.
+func (sc *Scenario) MergeProfile(p *repro.Profile) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.ex.MergeProfile(p)
+}
+
+// ProfilingEnabled reports whether the tenant's exchange carries a
+// workload profiler.
+func (sc *Scenario) ProfilingEnabled() bool { return sc.ex.ProfilingEnabled() }
+
 // Registry is the multi-tenant scenario table: named Scenarios with
 // load/unload/list lifecycle. All methods are safe for concurrent use.
 type Registry struct {

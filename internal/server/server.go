@@ -162,6 +162,7 @@ func New(cfg Config) *Server {
 	mux.Handle("DELETE /v1/scenarios/{name}", s.route("/v1/scenarios/{name}", s.handleUnload))
 	mux.Handle("POST /v1/scenarios/{name}/query", s.route("/v1/scenarios/{name}/query", s.handleQuery))
 	mux.Handle("GET /v1/scenarios/{name}/explain", s.route("/v1/scenarios/{name}/explain", s.handleExplain))
+	mux.Handle("GET /v1/scenarios/{name}/profile", s.route("/v1/scenarios/{name}/profile", s.handleProfile))
 	mux.Handle("GET /v1/store", s.route("/v1/store", s.handleStore))
 	mux.Handle("GET /v1/inflight", s.route("/v1/inflight", s.handleInflight))
 	mux.Handle("GET /v1/slowlog", s.route("/v1/slowlog", s.handleSlowlog))
@@ -202,8 +203,12 @@ func (s *Server) Metrics() *repro.Metrics { return s.cfg.Metrics }
 // in-flight requests (queries and loads) run to completion, and Drain
 // returns once the server is quiescent or ctx expires. Call before
 // closing the listener so clients see clean completions, not resets.
+// Once quiescent, every tenant's cumulative workload profile is persisted
+// (when a store is configured) so a restart resumes the hardness history.
 func (s *Server) Drain(ctx context.Context) error {
-	return s.group.Drain(ctx)
+	err := s.group.Drain(ctx)
+	s.persistProfiles()
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -295,6 +300,9 @@ type HealthResponse struct {
 	// Store summarizes the persistence layer; absent when the daemon runs
 	// without -data-dir.
 	Store *StoreHealth `json:"store,omitempty"`
+	// Profile aggregates the per-tenant workload profilers; absent when no
+	// loaded scenario records one.
+	Profile *ProfileHealth `json:"profile,omitempty"`
 }
 
 // ErrorResponse is every non-2xx body.
@@ -315,6 +323,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		LanesBusy:     s.lanes.inUse(),
 		LanesMax:      s.lanes.capacity(),
 		Store:         s.storeHealth(),
+		Profile:       s.profileHealth(),
 	}
 	code := http.StatusOK
 	if s.group.Draining() {
@@ -337,7 +346,8 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if st := stateFrom(r.Context()); st != nil {
 		st.setTenant(req.Name)
 	}
-	sc, err := s.reg.Load(req.Name, req.Mapping, req.Facts, req.Queries, repro.WithMetrics(s.cfg.Metrics))
+	sc, err := s.reg.Load(req.Name, req.Mapping, req.Facts, req.Queries,
+		repro.WithMetrics(s.cfg.Metrics), repro.WithProfiling(true))
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrScenarioExists):
@@ -606,6 +616,7 @@ func (s *Server) queryOptions(ctx context.Context, req *QueryRequest, lanes int,
 			st.sigsDone.Add(1)
 			st.decisions.Add(ev.Decisions)
 			st.conflicts.Add(ev.Conflicts)
+			st.noteSignature(ev.SignatureKey, ev.Duration)
 		}))
 	}
 	if sigTimeout > 0 {

@@ -78,7 +78,8 @@ func (s *Server) RecoverFromStore() (RecoverySummary, error) {
 	sum.Adopted = len(rep.Adopted)
 	sum.Quarantined = len(rep.Quarantined)
 	for _, sn := range rep.Recovered {
-		if _, err := s.reg.Load(sn.Name, sn.Mapping, sn.Facts, sn.Queries, repro.WithMetrics(s.cfg.Metrics)); err != nil {
+		if _, err := s.reg.Load(sn.Name, sn.Mapping, sn.Facts, sn.Queries,
+			repro.WithMetrics(s.cfg.Metrics), repro.WithProfiling(true)); err != nil {
 			if errors.Is(err, ErrRegistryFull) || errors.Is(err, ErrScenarioExists) {
 				// The snapshot is intact; the registry just cannot host it
 				// right now. Leave it persisted for a roomier boot.
@@ -94,6 +95,9 @@ func (s *Server) RecoverFromStore() (RecoverySummary, error) {
 			continue
 		}
 		sum.Loaded++
+		// Resume the tenant's persisted hardness history (advisory: a
+		// damaged profile WARNs and the tenant starts fresh).
+		s.restoreProfile(sn.Name)
 	}
 	s.cfg.Metrics.Gauge("xr_server_scenarios").Set(int64(s.reg.Len()))
 	return sum, nil

@@ -1,0 +1,104 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// profileFile is the per-scenario workload-profile artifact, written
+// beside snapshot.xr under the same checksummed envelope and atomic
+// write protocol. It is advisory history, not tenant state: recovery
+// never quarantines a tenant over a damaged profile, and a scenario
+// directory holding only a profile (no snapshot) is still an empty husk.
+const profileFile = "profile.xr"
+
+// SaveProfile persists a scenario's workload-profile payload (the
+// profiler snapshot's JSON) beside its snapshot. Only tracked scenarios
+// are written — a profile must never create a scenario directory the
+// manifest does not own — so saving for an untracked (or still-deferred)
+// scenario is a silent no-op. The payload rides the standard envelope;
+// xr_profile_persisted_bytes_total counts the bytes that reached disk.
+func (s *Store) SaveProfile(name string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, tracked := s.manifest[name]
+	if !tracked {
+		return nil
+	}
+	blob := encodeEnvelope(payload)
+	dir := s.scenarioDirPath(entry.Dir)
+	path := filepath.Join(dir, profileFile)
+	if err := s.retry(func() error { return s.atomicWrite(dir, path, blob, name+"/profile") }); err != nil {
+		s.met.Counter("xr_store_profile_save_errors_total").Inc()
+		return fmt.Errorf("store: saving profile for scenario %q: %w", name, err)
+	}
+	s.met.Counter("xr_store_profile_saves_total").Inc()
+	s.met.Counter("xr_profile_persisted_bytes_total").Add(int64(len(blob)))
+	return nil
+}
+
+// LoadProfile reads a scenario's persisted workload profile, verifying
+// the envelope, and returns the inner payload. A scenario with no
+// profile on disk returns (nil, nil) — absence is normal, not an error.
+// A damaged profile returns an error matching ErrCorrupt; callers should
+// log and continue, never quarantine the tenant over it.
+func (s *Store) LoadProfile(name string) ([]byte, error) {
+	s.mu.Lock()
+	dir := dirFor(name)
+	if e, ok := s.manifest[name]; ok {
+		dir = e.Dir
+	}
+	s.mu.Unlock()
+	path := filepath.Join(s.scenarioDirPath(dir), profileFile)
+	if err := s.fault(SiteRead, name+"/profile"); err != nil {
+		return nil, fmt.Errorf("%w: injected read fault: %v", ErrCorrupt, err)
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	payload, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: profile for scenario %q: %w", name, err)
+	}
+	return payload, nil
+}
+
+// pruneQuarantineLocked enforces the quarantine retention window at boot:
+// artifacts under quarantine/ whose modification time is older than the
+// window are removed. Zero (or negative) retention keeps everything.
+// Pruning runs before this boot's recovery quarantines anything, so a
+// fresh quarantine always survives at least one full window.
+func (s *Store) pruneQuarantineLocked(retention time.Duration) {
+	if retention <= 0 {
+		return
+	}
+	qdir := filepath.Join(s.dir, quarantineDir)
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-retention)
+	pruned := 0
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil || !info.ModTime().Before(cutoff) {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(qdir, e.Name())); err != nil {
+			s.log.Warn("pruning quarantine artifact failed", "artifact", e.Name(), "error", err.Error())
+			continue
+		}
+		pruned++
+	}
+	if pruned > 0 {
+		s.met.Counter("xr_store_quarantine_pruned_total").Add(int64(pruned))
+		s.log.Info("pruned quarantine artifacts past retention",
+			"pruned", pruned, "retention", retention.String())
+	}
+}

@@ -1,0 +1,262 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The profile artifact rides the same envelope and atomic-write protocol
+// as snapshots but carries advisory history, not tenant state. These
+// tests pin the contract: byte-identical round trips across a reboot, a
+// failed save never damages the previous profile, and a corrupt profile
+// never quarantines its tenant.
+
+func profilePayload() []byte {
+	return []byte(`{"records":1,"solves":42,"signatures":[{"key":"2,7","solves":42}]}`)
+}
+
+func TestProfileCrashRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	met := telemetry.NewRegistry()
+	s, err := Open(dir, Options{Metrics: met, RepersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Untracked scenario: SaveProfile is a silent no-op and must not
+	// create a scenario directory the manifest does not own.
+	if err := s.SaveProfile("alpha", profilePayload()); err != nil {
+		t.Fatalf("untracked SaveProfile: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, scenariosDir, dirFor("alpha"))); !os.IsNotExist(err) {
+		t.Fatal("untracked SaveProfile created a scenario directory")
+	}
+
+	sn := crashSnapshot("alpha", rand.New(rand.NewSource(1)))
+	if err := s.Save(sn); err != nil {
+		t.Fatal(err)
+	}
+	payload := profilePayload()
+	if err := s.SaveProfile("alpha", payload); err != nil {
+		t.Fatal(err)
+	}
+	snap := met.Snapshot()
+	if got := snap.Counters["xr_store_profile_saves_total"]; got != 1 {
+		t.Fatalf("xr_store_profile_saves_total = %d, want 1", got)
+	}
+	if got := snap.Counters["xr_profile_persisted_bytes_total"]; got <= int64(len(payload)) {
+		t.Fatalf("xr_profile_persisted_bytes_total = %d, want > payload length %d (envelope adds a header)", got, len(payload))
+	}
+	// The store is abandoned, not Closed: a crash flushes nothing.
+
+	s2, err := Open(dir, Options{RepersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 1 || len(rep.Quarantined) != 0 {
+		t.Fatalf("recovery: %d recovered, %d quarantined", len(rep.Recovered), len(rep.Quarantined))
+	}
+	got, err := s2.LoadProfile("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("profile not byte-identical across reboot:\n%s\nvs\n%s", payload, got)
+	}
+	// Absence is normal, not an error.
+	if p, err := s2.LoadProfile("ghost"); err != nil || p != nil {
+		t.Fatalf("absent profile: payload=%v err=%v, want nil/nil", p, err)
+	}
+}
+
+// TestProfileSaveCrashKeepsPrevious pins the atomic-write guarantee for
+// profiles: a save that dies before the rename leaves the previous
+// profile readable, and the stray temp file is swept on the next boot.
+func TestProfileSaveCrashKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{RepersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(crashSnapshot("alpha", rand.New(rand.NewSource(2)))); err != nil {
+		t.Fatal(err)
+	}
+	v1 := []byte(`{"records":1,"solves":1}`)
+	if err := s.SaveProfile("alpha", v1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot with a hook that kills the process at the profile rename:
+	// the temp file is written but never reaches the final path.
+	met := telemetry.NewRegistry()
+	s2, err := Open(dir, Options{
+		Metrics: met,
+		FaultHook: func(site, key string) error {
+			if site == SiteRename && key == "alpha/profile" {
+				return errKilled
+			}
+			return nil
+		},
+		RetryAttempts:     1,
+		RetryBase:         time.Millisecond,
+		RepersistInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.SaveProfile("alpha", []byte(`{"records":9,"solves":9}`)); err == nil {
+		t.Fatal("SaveProfile succeeded through a failing rename")
+	}
+	if got := met.Snapshot().Counters["xr_store_profile_save_errors_total"]; got != 1 {
+		t.Fatalf("xr_store_profile_save_errors_total = %d, want 1", got)
+	}
+
+	s3, err := Open(dir, Options{RepersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s3.LoadProfile("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(v1) {
+		t.Fatalf("crashed save damaged the previous profile:\n%s\nvs\n%s", v1, got)
+	}
+}
+
+// TestProfileCorruptRecoverKeepsTenant pins the advisory-history rule: a
+// damaged profile surfaces as ErrCorrupt from LoadProfile but recovery
+// never quarantines the tenant over it.
+func TestProfileCorruptRecoverKeepsTenant(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{RepersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(crashSnapshot("alpha", rand.New(rand.NewSource(3)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveProfile("alpha", profilePayload()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Storage rot: flip one byte of the profile envelope on disk.
+	path := filepath.Join(dir, scenariosDir, dirFor("alpha"), profileFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{RepersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recovered) != 1 || len(rep.Quarantined) != 0 {
+		t.Fatalf("corrupt profile affected tenant recovery: %d recovered, %d quarantined",
+			len(rep.Recovered), len(rep.Quarantined))
+	}
+	if _, err := s2.LoadProfile("alpha"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("LoadProfile on rot = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestQuarantineRetentionPruning pins the boot-time retention window:
+// quarantine artifacts older than the window are removed (counted and
+// logged), younger ones and everything under zero retention survive.
+func TestQuarantineRetentionPruning(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{RepersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, name := range []string{"old", "fresh"} {
+		if err := s.Save(crashSnapshot(name, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldRec := s.Quarantine("old", errors.New("damaged beyond repair"))
+	freshRec := s.Quarantine("fresh", errors.New("damaged beyond repair"))
+	if oldRec.Path == "" || freshRec.Path == "" {
+		t.Fatalf("quarantine left no artifact: old=%q fresh=%q", oldRec.Path, freshRec.Path)
+	}
+	// Age the old artifact two windows past retention; the clock is the
+	// artifact's mtime, stamped when it was set aside.
+	stale := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, oldRec.Path), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	met := telemetry.NewRegistry()
+	s2, err := Open(dir, Options{
+		Metrics:             met,
+		QuarantineRetention: 24 * time.Hour,
+		RepersistInterval:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, oldRec.Path)); !os.IsNotExist(err) {
+		t.Fatalf("stale artifact survived retention: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, freshRec.Path)); err != nil {
+		t.Fatalf("fresh artifact pruned inside the window: %v", err)
+	}
+	if got := met.Snapshot().Counters["xr_store_quarantine_pruned_total"]; got != 1 {
+		t.Fatalf("xr_store_quarantine_pruned_total = %d, want 1", got)
+	}
+
+	// Zero retention keeps everything, however stale.
+	if err := os.Chtimes(filepath.Join(dir, freshRec.Path), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{RepersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, freshRec.Path)); err != nil {
+		t.Fatalf("zero retention pruned an artifact: %v", err)
+	}
+}

@@ -159,6 +159,10 @@ type Options struct {
 	// RepersistInterval is the background retry tick for deferred saves
 	// (default 5s; negative disables the background loop).
 	RepersistInterval time.Duration
+	// QuarantineRetention prunes quarantine artifacts older than the
+	// window during Recover (0 = keep forever). Pruning is mtime-based:
+	// the clock starts when the artifact was set aside.
+	QuarantineRetention time.Duration
 }
 
 // Store is the durable scenario store. All methods are safe for
@@ -166,13 +170,14 @@ type Options struct {
 // as scenarios load and unload; Close stops the background loop after a
 // final flush attempt.
 type Store struct {
-	dir      string
-	log      *slog.Logger
-	met      *telemetry.Registry
-	fault    func(site, key string) error
-	attempts int
-	base     time.Duration
-	cap      time.Duration
+	dir       string
+	log       *slog.Logger
+	met       *telemetry.Registry
+	fault     func(site, key string) error
+	attempts  int
+	base      time.Duration
+	cap       time.Duration
+	retention time.Duration
 
 	mu            sync.Mutex
 	manifest      map[string]*manifestEntry
@@ -215,15 +220,16 @@ func Open(dir string, opts Options) (*Store, error) {
 		opts.RetryCap = 500 * time.Millisecond
 	}
 	s := &Store{
-		dir:      dir,
-		log:      opts.Logger,
-		met:      opts.Metrics,
-		fault:    opts.FaultHook,
-		attempts: opts.RetryAttempts,
-		base:     opts.RetryBase,
-		cap:      opts.RetryCap,
-		manifest: make(map[string]*manifestEntry),
-		dirty:    make(map[string]Snapshot),
+		dir:       dir,
+		log:       opts.Logger,
+		met:       opts.Metrics,
+		fault:     opts.FaultHook,
+		attempts:  opts.RetryAttempts,
+		base:      opts.RetryBase,
+		cap:       opts.RetryCap,
+		retention: opts.QuarantineRetention,
+		manifest:  make(map[string]*manifestEntry),
+		dirty:     make(map[string]Snapshot),
 	}
 	interval := opts.RepersistInterval
 	if interval == 0 {
@@ -497,6 +503,7 @@ func (s *Store) Recover() (*RecoveryReport, error) {
 	defer s.mu.Unlock()
 	rep := &RecoveryReport{}
 	s.removeStrayTmp()
+	s.pruneQuarantineLocked(s.retention)
 
 	man := s.readManifestLocked(rep)
 

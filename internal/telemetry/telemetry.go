@@ -174,6 +174,42 @@ func bucketQuantile(buckets *[numBuckets]int64, count int64, q float64) float64 
 	return 0
 }
 
+// Export copies the histogram's state — observation count, summed
+// nanoseconds, and the raw log₂ bucket counts — for persistence. The
+// bucket slice always has len numBuckets (33). Nil receivers export a
+// zero state with a nil bucket slice.
+func (h *Histogram) Export() (count, sumNs int64, buckets []int64) {
+	if h == nil {
+		return 0, 0, nil
+	}
+	buckets = make([]int64, numBuckets)
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return h.count.Load(), h.sumNs.Load(), buckets
+}
+
+// Merge folds a previously Exported state into the histogram (additive,
+// so restoring persisted data composes with live observations). Bucket
+// slices shorter than numBuckets merge their prefix; longer slices fold
+// the excess into the overflow bucket, so a state exported under a
+// different bucket count still lands conservatively. Safe on a nil
+// receiver (no-op).
+func (h *Histogram) Merge(count, sumNs int64, buckets []int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(count)
+	h.sumNs.Add(sumNs)
+	for i, n := range buckets {
+		if i >= numBuckets {
+			h.buckets[numBuckets-1].Add(n)
+			continue
+		}
+		h.buckets[i].Add(n)
+	}
+}
+
 // Count returns the number of observations (0 on a nil receiver).
 func (h *Histogram) Count() int64 {
 	if h == nil {

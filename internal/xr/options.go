@@ -227,6 +227,19 @@ type Options struct {
 	// program). Export it with Tracer.WriteChromeTrace. A nil tracer costs
 	// one nil check per phase.
 	Tracer *telemetry.Tracer
+
+	// Profiling attaches a workload hardness profiler to the Exchange
+	// built with these options (NewExchangeOpts only; query calls inherit
+	// the Exchange's profiler). The profiler accumulates per-signature and
+	// per-cluster solve records across the Exchange's lifetime — see
+	// internal/profile and Exchange.Profile. Profiling records at the same
+	// instrumentation points telemetry uses, with commuting atomic adds
+	// only, so answers, Unknown sets, and ExchangeStats are byte-identical
+	// with profiling on or off at any Parallelism.
+	Profiling bool
+	// ProfileMaxRecords caps the profiler's signature-record table
+	// (0 = profile.DefaultMaxRecords). Ignored unless Profiling is set.
+	ProfileMaxRecords int
 }
 
 // Fault-injection site names passed to Options.FaultHook. Kept as plain

@@ -17,6 +17,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/logic"
 	"repro/internal/mapping"
+	"repro/internal/profile"
 	"repro/internal/symtab"
 	"repro/internal/telemetry"
 )
@@ -93,6 +94,12 @@ type Exchange struct {
 	// mt is the instrument set of the registry the Exchange was built with
 	// (nil when telemetry is off); per-call registries override it.
 	mt *meters
+
+	// prof is the workload hardness profiler (nil when Options.Profiling
+	// is off — every record call is a nil-safe no-op). Unlike mt it is
+	// never overridden per call: hardness history is an Exchange-lifetime
+	// aggregate.
+	prof *profile.Profiler
 
 	Stats ExchangeStats
 }
@@ -230,6 +237,14 @@ func NewExchangeOpts(m *mapping.Mapping, src *instance.Instance, opts Options) (
 	}
 	ex.mt = newMeters(opts.Metrics)
 	ex.mt.recordExchange(ex.Stats)
+	if opts.Profiling {
+		ex.prof = profile.New(profile.Config{MaxRecords: opts.ProfileMaxRecords, Metrics: opts.Metrics})
+		// Seed cluster shapes now, while envelope construction is fresh:
+		// every later solve only touches counters.
+		for ci, c := range ex.Clusters {
+			ex.prof.SeedCluster(ci, len(c.Violations), len(c.SourceEnvelope), len(c.Influence))
+		}
+	}
 	if opts.Tracer != nil {
 		// The exchange phase is not tracer-aware internally; synthesize its
 		// span tree from the measured boundaries. The chase's tgd fixpoint
@@ -252,6 +267,23 @@ func NewExchangeOpts(m *mapping.Mapping, src *instance.Instance, opts Options) (
 
 // SuspectSourceFacts returns |I_suspect|.
 func (ex *Exchange) SuspectSourceFacts() int { return len(ex.suspect) }
+
+// Profile returns a deterministic point-in-time snapshot of the
+// Exchange's workload hardness profiler: per-signature and per-cluster
+// solve accounting accumulated across every query since the Exchange was
+// built (plus any history merged back via MergeProfile). When the
+// Exchange was built without Options.Profiling the snapshot is empty,
+// never nil.
+func (ex *Exchange) Profile() *profile.Snapshot { return ex.prof.Snapshot() }
+
+// MergeProfile folds a previously captured snapshot into the Exchange's
+// profiler — the boot-recovery path that makes hardness history survive
+// restarts. No-op when profiling is disabled.
+func (ex *Exchange) MergeProfile(snap *profile.Snapshot) { ex.prof.Merge(snap) }
+
+// ProfilingEnabled reports whether the Exchange records workload
+// profiles (Options.Profiling at construction).
+func (ex *Exchange) ProfilingEnabled() bool { return ex.prof != nil }
 
 // IsSuspect reports whether a source fact is suspect (Definition 5).
 func (ex *Exchange) IsSuspect(f instance.Fact) bool {
@@ -471,6 +503,7 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 	if opts.Partial && retryableSigErr(err) {
 		retries = 1
 		mt.recordRetry()
+		ex.prof.RecordRetry(key)
 		out, err = ex.solveSigAttempt(ctx, key, g, brave, opts, mt, qname, parent, lane, 2)
 		if err == nil {
 			out.retries = retries
@@ -483,6 +516,7 @@ func (ex *Exchange) solveSig(ctx context.Context, key string, g *sigGroup, brave
 	if !opts.Partial {
 		return nil, fmt.Errorf("signature {%s}: %w", key, err)
 	}
+	ex.prof.RecordDegraded(key)
 	deg := &groupOutcome{
 		retries:  retries,
 		degraded: &SignatureError{Signature: key, Tuples: len(g.cands), Retries: retries, Err: err},
@@ -585,6 +619,10 @@ func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup
 		return nil, ErrCanceled
 	}
 	if sv.exhausted {
+		// Budget cutoffs are deterministic DPLL counters, so this record —
+		// unlike a wall-clock timeout — aggregates identically at any
+		// Parallelism.
+		ex.prof.RecordBudgetExhausted(key)
 		return nil, ErrBudget
 	}
 	if !sv.hasModel {
@@ -613,7 +651,7 @@ func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup
 	}
 	span.ArgInt("decisions", sv.decisions)
 	span.ArgInt("conflicts", sv.conflicts)
-	if opts.Trace != nil || mt != nil {
+	if opts.Trace != nil || mt != nil || ex.prof != nil {
 		engine := "segmentary"
 		if brave {
 			engine = "segmentary-brave"
@@ -643,6 +681,21 @@ func (ex *Exchange) solveSigAttempt(ctx context.Context, key string, g *sigGroup
 			Duration:         time.Since(start),
 		}
 		mt.recordProgram(ev)
+		ex.prof.RecordSolve(key, profile.Solve{
+			Wall:             ev.Duration,
+			Candidates:       ev.Candidates,
+			CandidatesTested: ev.CandidatesTested,
+			StabilityFails:   ev.StabilityFails,
+			Decisions:        ev.Decisions,
+			Conflicts:        ev.Conflicts,
+			Propagations:     ev.Propagations,
+			Restarts:         ev.Restarts,
+			AssumptionSolves: ev.AssumptionSolves,
+			Reductions:       ev.Reductions,
+			ClausesDeleted:   ev.ClausesDeleted,
+			CacheHit:         ev.CacheHit,
+			SolverReused:     ev.SolverReused,
+		})
 		if opts.Trace != nil {
 			opts.Trace(ev)
 		}

@@ -123,11 +123,32 @@ func collectCandidates(rq *logic.UCQ, prov *chase.Provenance) []*candidate {
 			return true
 		})
 	}
+	// Canonical order: plan iteration follows the instance's indexes, whose
+	// order is not stable run to run. Downstream the candidate order steers
+	// solver assumption testing and the Explanations slice, and the support
+	// order steers candidate rule wiring (and through clause watches, the
+	// effort counters the profiler records), so sort both.
+	sort.Strings(order)
 	out := make([]*candidate, len(order))
 	for i, k := range order {
 		out[i] = byKey[k]
+		sortSupports(out[i].supports)
 	}
 	return out
+}
+
+// sortSupports orders a candidate's support sets lexicographically (each
+// set is already sorted by fact id).
+func sortSupports(sets [][]chase.FactID) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
 }
 
 func (c *candidate) addSupport(s []chase.FactID) {

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 	"repro/internal/xr"
 )
@@ -114,6 +115,11 @@ type Option struct {
 // queryOption builds a query-scope option.
 func queryOption(name string, apply func(*xr.Options)) Option {
 	return Option{name: name, scope: scopeQuery, apply: apply}
+}
+
+// exchangeOption builds an exchange-scope option.
+func exchangeOption(name string, apply func(*xr.Options)) Option {
+	return Option{name: name, scope: scopeExchange, apply: apply}
 }
 
 // dualOption builds an option valid at both exchange and query time.
@@ -265,6 +271,53 @@ type MetricsSnapshot = telemetry.Snapshot
 // and goroutines. Scope: exchange and query.
 func WithMetrics(reg *Metrics) Option {
 	return dualOption("WithMetrics", func(o *xr.Options) { o.Metrics = reg })
+}
+
+// Profile is a deterministic point-in-time snapshot of an Exchange's
+// workload hardness profiler: per-signature and per-cluster solve
+// accounting (wall-time histograms with p50/p95/p99, DPLL work counters,
+// retries/degradations/budget exhaustions, cache and solver-reuse hits,
+// cluster shapes), keyed by the same signature-key vocabulary TraceEvent,
+// SignatureError, and explanations use. Obtain one with Exchange.Profile;
+// rank it with Profile.Top.
+type Profile = profile.Snapshot
+
+// ProfileSignature is one signature's record inside a Profile.
+type ProfileSignature = profile.SignatureProfile
+
+// ProfileCluster is one violation cluster's record inside a Profile.
+type ProfileCluster = profile.ClusterProfile
+
+// Sort orders accepted by Profile.Top (and the daemon's /profile
+// endpoint's ?sort= parameter).
+const (
+	ProfileSortWall      = profile.SortWall
+	ProfileSortConflicts = profile.SortConflicts
+	ProfileSortDegraded  = profile.SortDegraded
+)
+
+// WithProfiling attaches a workload hardness profiler to the Exchange:
+// every signature solve of every later query accumulates into
+// per-signature and per-cluster records, retrievable as a deterministic
+// snapshot via Exchange.Profile. Recording happens at the same
+// instrumentation points telemetry uses, with commuting atomic updates
+// only, so answers, Unknown sets, and ExchangeStats are byte-identical
+// with profiling on or off at any WithParallelism setting; off (the
+// default) costs one nil check per solve. When WithMetrics is also set,
+// the profiler's own bookkeeping (records, evictions, total solves) is
+// exported as xr_profile_* series. Scope: exchange.
+func WithProfiling(on bool) Option {
+	return exchangeOption("WithProfiling", func(o *xr.Options) { o.Profiling = on })
+}
+
+// WithProfileCap bounds the profiler's signature-record table at n
+// records (0 keeps the default, profile.DefaultMaxRecords = 4096).
+// Inserting past the cap evicts the coldest record — smallest decayed
+// heat, ties toward the smallest key — and counts the eviction. Implies
+// nothing by itself: profiling still needs WithProfiling(true).
+// Scope: exchange.
+func WithProfileCap(n int) Option {
+	return exchangeOption("WithProfileCap", func(o *xr.Options) { o.ProfileMaxRecords = n })
 }
 
 // MetricsServer is a running HTTP metrics endpoint; see ServeMetrics.

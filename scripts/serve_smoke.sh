@@ -21,7 +21,9 @@
 # Set SMOKE_LOG to keep the daemon's JSON log at a stable path (CI
 # uploads it as a workflow artifact); it defaults to the temp workdir.
 # SMOKE_DATA_DIR likewise pins the persistence directory (uploaded on
-# failure); it defaults to the temp workdir too.
+# failure); it defaults to the temp workdir too. SMOKE_PROFILE pins where
+# the final cumulative workload profile JSON is written (also a CI
+# artifact).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,6 +51,7 @@ go build -o "$workdir/xrserved" ./cmd/xrserved
 
 server_log="${SMOKE_LOG:-$workdir/server.log}"
 data_dir="${SMOKE_DATA_DIR:-$workdir/data}"
+profile_out="${SMOKE_PROFILE:-$workdir/profile.json}"
 : >"$server_log"
 
 # start_daemon boots xrserved over the shared data dir and appends to the
@@ -269,6 +272,27 @@ trace=$(curl -fsS "$base/v1/requests/$rid/trace")
 jq -e '.trace[].args[]? | select(.key == "request_id" and .value == "smoke-corr-1")' \
   <<<"$trace" >/dev/null || fail "span tree not stamped with request id: $trace"
 
+# --- Workload hardness profile: the tricolor solves above forced real
+# conflict-driven search, so the per-signature accounting must be live
+# over the wire — nonzero conflicts, canonical signature keys, a working
+# top-N/sort projection, the healthz aggregate, and the slowlog entry's
+# hardest-signature keys. ---
+profile=$(curl -fsS "$base/v1/scenarios/tri-k4/profile")
+[[ "$(jq '.profile.solves' <<<"$profile")" -ge 1 ]] \
+  || fail "profile records no solves: $profile"
+[[ "$(jq '[.profile.signatures[].conflicts] | add' <<<"$profile")" -ge 1 ]] \
+  || fail "tricolor signatures show no conflicts: $profile"
+jq -e '.profile.signatures[0].key != "" and (.profile.clusters | length) >= 1' \
+  <<<"$profile" >/dev/null || fail "profile lacks signature keys or cluster shapes: $profile"
+top1=$(curl -fsS "$base/v1/scenarios/tri-k4/profile?top=1&sort=conflicts")
+[[ "$(jq '.profile.signatures | length' <<<"$top1")" == "1" ]] \
+  || fail "profile top=1 did not truncate: $top1"
+[[ "$(jq '.hot_signatures | length' <<<"$entry")" -ge 1 ]] \
+  || fail "slowlog entry lacks hot signature keys: $entry"
+curl -fsS "$base/healthz" | jq -e '.profile.scenarios >= 1 and .profile.solves >= 1' \
+  >/dev/null || fail "healthz lacks the profile aggregate"
+pre_solves=$(jq '.profile.solves' <<<"$profile")
+
 # RED metrics: the per-route counter incremented for this tenant.
 metrics=$(curl -fsS "$base/metrics")
 grep -q 'xr_http_requests_total{code="200",route="/v1/scenarios/{name}/query",tenant="tri-k4"}' \
@@ -295,6 +319,16 @@ echo "serve-smoke: rebooting from $data_dir"
 start_daemon
 count=$(curl -fsS "$base/v1/scenarios" | jq '.scenarios | length')
 [[ "$count" == "2" ]] || fail "after restart scenario count = $count, want 2 (no re-POSTs)"
+
+# The drain persisted each tenant's workload profile beside its snapshot;
+# the reboot must restore the pre-restart cumulative accounting exactly —
+# no queries have run yet on this boot.
+grep -q '"msg":"workload profile restored"' "$server_log" \
+  || fail "no profile-restored log line after reboot"
+profile_r=$(curl -fsS "$base/v1/scenarios/tri-k4/profile")
+[[ "$(jq '.profile.solves' <<<"$profile_r")" == "$pre_solves" ]] \
+  || fail "restored profile solves = $(jq '.profile.solves' <<<"$profile_r"), want pre-restart $pre_solves"
+
 q4r=$(curl -fsS -X POST -d '{"name":"inAllRepairs"}' "$base/v1/scenarios/tri-k4/query")
 [[ "$(jq -c '.answers.tuples' <<<"$q4r")" == "$(jq -c '.answers.tuples' <<<"$q4")" ]] \
   || fail "tri-k4 answers differ after restart: $q4r"
@@ -307,6 +341,13 @@ curl -fsS "$base/healthz" | jq -e '.store.persisted == 2 and .store.data_dir != 
   >/dev/null || fail "healthz store block wrong after restart"
 grep -q '"msg":"scenario recovery complete"' "$server_log" \
   || fail "no recovery summary log line"
+
+# This boot's queries accrue ON TOP of the restored history, and the
+# cumulative document is kept as a CI artifact at a stable path.
+curl -fsS "$base/v1/scenarios/tri-k4/profile" >"$profile_out" \
+  || fail "fetching the cumulative profile artifact"
+[[ "$(jq '.profile.solves' "$profile_out")" -gt "$pre_solves" ]] \
+  || fail "post-restart queries did not accrue onto the restored profile: $(cat "$profile_out")"
 stop_daemon
 
 # --- Corruption: damage one snapshot in place. Boot must still succeed,

@@ -231,6 +231,24 @@ func (e *Exchange) SuspectFacts() int { return e.ex.SuspectSourceFacts() }
 // Stats returns the raw exchange statistics.
 func (e *Exchange) Stats() xr.ExchangeStats { return e.ex.Stats }
 
+// Profile returns a deterministic snapshot of the exchange's workload
+// hardness profiler: per-signature and per-cluster solve accounting
+// accumulated across every query since the Exchange was built. Requires
+// WithProfiling(true) at NewExchange time; without it the snapshot is
+// empty, never nil. Counter aggregates are deterministic at any
+// WithParallelism; wall-time histograms are measured and vary run to run.
+func (e *Exchange) Profile() *Profile { return e.ex.Profile() }
+
+// MergeProfile folds a previously captured Profile into the exchange's
+// profiler (additive) — the restore path for hardness history persisted
+// across process restarts. No-op unless the Exchange was built with
+// WithProfiling(true).
+func (e *Exchange) MergeProfile(p *Profile) { e.ex.MergeProfile(p) }
+
+// ProfilingEnabled reports whether the Exchange was built with
+// WithProfiling(true).
+func (e *Exchange) ProfilingEnabled() bool { return e.ex.ProfilingEnabled() }
+
 // Answer computes the XR-Certain answers of q (segmentary query phase).
 // Query-scope options tune the call: WithContext / WithTimeout for
 // cancellation (errors match ErrCanceled / ErrTimeout), WithParallelism to
